@@ -1,0 +1,102 @@
+// Ablation A1 — why the router has default routing and why the mapper
+// minimises tables: the multicast CAM has only 1024 entries (§4, [7]).
+//
+// We scale a multi-population network up on a 12x12 machine and count
+// routing entries per chip under four mapper configurations.  Without
+// default-route compression, straight-through chips each burn an entry per
+// slice and the CAM overflows at a fraction of the compressed capacity.
+#include <cstdio>
+#include <string>
+
+#include "map/routing_gen.hpp"
+#include "mesh/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace spinn;
+
+struct Row {
+  std::uint64_t total = 0;
+  std::size_t max_per_chip = 0;
+  std::uint64_t saved = 0;
+  bool overflow = false;
+};
+
+Row measure(int populations, bool compress, bool minimize) {
+  sim::Simulator sim(9);
+  mesh::MachineConfig mc;
+  mc.width = 12;
+  mc.height = 12;
+  mc.chip.num_cores = 3;
+  mesh::Machine m(sim, mc);
+
+  neural::Network net;
+  std::vector<neural::PopulationId> pops;
+  for (int i = 0; i < populations; ++i) {
+    pops.push_back(net.add_lif("p" + std::to_string(i), 256));
+  }
+  // A ring of projections plus some chords: every population both sends
+  // and receives, paths cross the machine.
+  for (int i = 0; i < populations; ++i) {
+    net.connect(pops[i], pops[(i + 1) % populations],
+                neural::Connector::fixed_probability(0.02),
+                neural::ValueDist::fixed(1.0), neural::ValueDist::fixed(1.0));
+    net.connect(pops[i], pops[(i + populations / 3 + 1) % populations],
+                neural::Connector::fixed_probability(0.02),
+                neural::ValueDist::fixed(1.0), neural::ValueDist::fixed(1.0));
+  }
+
+  map::MapperConfig cfg;
+  cfg.neurons_per_core = 128;
+  cfg.scatter = true;
+  cfg.default_route_compression = compress;
+  cfg.minimize_tables = minimize;
+  const map::PlacementResult placement = map::place(net, m, cfg);
+  if (!placement.fits) return Row{};
+  const map::RoutingResult routing =
+      map::generate_routing(net, placement, m.topology(), cfg);
+  Row row;
+  row.total = routing.stats.entries_total;
+  row.max_per_chip = routing.stats.max_entries_per_chip;
+  row.saved = routing.stats.entries_saved_by_default_route;
+  row.overflow =
+      routing.stats.max_entries_per_chip > router::MulticastTable::kCapacity;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A1: routing-table pressure vs mapper features (12x12 "
+              "machine, 1024-entry CAM per router)\n\n");
+  std::printf("%-14s %-24s %12s %14s %14s %10s\n", "populations",
+              "configuration", "entries", "max per chip", "saved by DR",
+              "fits CAM?");
+  for (const int pops : {12, 24, 48, 96}) {
+    struct Config {
+      const char* name;
+      bool compress;
+      bool minimize;
+    };
+    const Config configs[] = {
+        {"naive (no DR, no min)", false, false},
+        {"default-route only", true, false},
+        {"minimise only", false, true},
+        {"both (shipped default)", true, true},
+    };
+    for (const Config& c : configs) {
+      const Row r = measure(pops, c.compress, c.minimize);
+      std::printf("%-14d %-24s %12llu %14zu %14llu %10s\n", pops, c.name,
+                  static_cast<unsigned long long>(r.total), r.max_per_chip,
+                  static_cast<unsigned long long>(r.saved),
+                  r.overflow ? "NO" : "yes");
+    }
+    std::printf("\n");
+  }
+  std::printf("Default routing elides entries on straight-through chips; "
+              "key/mask minimisation folds sibling\nslices with identical "
+              "routes.  Together they are what lets a 1024-entry CAM route "
+              "thousands of\npopulation slices (§4, §5.3).\n");
+  return 0;
+}

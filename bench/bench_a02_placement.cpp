@@ -1,0 +1,102 @@
+// Ablation A2 — virtualised topology (§3.2): "In principle any neuron can
+// be mapped onto any processor.  In practice it is likely to be beneficial
+// to map neurons that are physically close in biology to proximal locations
+// in SpiNNaker as this will minimize routing costs, but it is not necessary
+// to do so."
+//
+// We map the same layered network twice — packed (proximal) and scattered
+// (deliberately spread) — and compare routing cost and live fabric load.
+// Both are *correct*; the packed mapping is just cheaper.  That gap is the
+// quantitative content of "beneficial but not necessary".
+#include <cstdio>
+#include <string>
+
+#include "core/system.hpp"
+
+namespace {
+
+using namespace spinn;
+
+struct Outcome {
+  std::uint64_t tree_links = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t inter_chip_packets = 0;
+  std::uint64_t delivered_local = 0;
+  std::uint64_t dropped = 0;
+  double fabric_mj = 0.0;
+  std::size_t spikes = 0;
+};
+
+Outcome run(bool scatter) {
+  SystemConfig cfg;
+  cfg.machine.width = 6;
+  cfg.machine.height = 6;
+  cfg.machine.chip.num_cores = 4;
+  cfg.machine.chip.clock_drift_ppm_sigma = 0.0;
+  cfg.mapper.neurons_per_core = 128;
+  cfg.mapper.scatter = scatter;
+  System sys(cfg);
+
+  neural::Network net;
+  const auto input = net.add_poisson("input", 256, 30.0);
+  const auto l1 = net.add_lif("l1", 512);
+  const auto l2 = net.add_lif("l2", 512);
+  const auto out = net.add_lif("out", 128);
+  net.connect(input, l1, neural::Connector::fixed_probability(0.05),
+              neural::ValueDist::fixed(3.0), neural::ValueDist::fixed(1.0));
+  net.connect(l1, l2, neural::Connector::fixed_probability(0.03),
+              neural::ValueDist::fixed(2.0), neural::ValueDist::fixed(2.0));
+  net.connect(l2, out, neural::Connector::fixed_probability(0.05),
+              neural::ValueDist::fixed(2.0), neural::ValueDist::fixed(1.0));
+
+  const auto report = sys.load(net);
+  if (!report.ok) return Outcome{};
+  sys.run(200 * kMillisecond);
+
+  Outcome o;
+  o.tree_links = report.routing.tree_links;
+  o.entries = report.routing.entries_total;
+  const auto totals = sys.fabric_totals();
+  o.inter_chip_packets = totals.forwarded;
+  o.delivered_local = totals.delivered_local;
+  o.dropped = totals.dropped;
+  o.fabric_mj = sys.energy().fabric_j * 1e3;
+  o.spikes = sys.spikes().count();
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A2: placement ablation — proximal (packed) vs scattered "
+              "mapping of the same 4-layer network\n    on a 6x6 machine "
+              "(§3.2 virtualised topology)\n\n");
+  const Outcome packed = run(false);
+  const Outcome scattered = run(true);
+
+  std::printf("%-26s %14s %14s %10s\n", "metric", "packed", "scattered",
+              "ratio");
+  auto row = [](const char* name, double a, double b) {
+    std::printf("%-26s %14.0f %14.0f %9.2fx\n", name, a, b,
+                a > 0 ? b / a : 0.0);
+  };
+  row("multicast tree links", packed.tree_links, scattered.tree_links);
+  row("routing entries", packed.entries, scattered.entries);
+  row("inter-chip packet hops", packed.inter_chip_packets,
+      scattered.inter_chip_packets);
+  row("local deliveries", packed.delivered_local, scattered.delivered_local);
+  row("packets dropped", packed.dropped, scattered.dropped);
+  std::printf("%-26s %14.4f %14.4f %9.2fx\n", "fabric energy (mJ)",
+              packed.fabric_mj, scattered.fabric_mj,
+              packed.fabric_mj > 0 ? scattered.fabric_mj / packed.fabric_mj
+                                   : 0.0);
+
+  std::printf("\nBoth mappings run the same network (%zu vs %zu spikes — "
+              "equal up to timer-phase jitter, since\nchips have no common "
+              "clock); scattering only raises the *cost*: more tree links, "
+              "more inter-chip\nhops, more fabric energy.  That is §3.2: "
+              "physical and logical connectivity are decoupled;\nproximity "
+              "is an optimisation, not a correctness requirement.\n",
+              packed.spikes, scattered.spikes);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// E1 — §5.1 / Fig. 6: glitch-induced deadlock, conventional XOR phase
+// conversion vs the transition-sensing circuit.
+//
+// Paper claim: "This circuit, together with a number of other circuit
+// enhancements, has reduced the occurrence of deadlocks in our glitch
+// simulations by a factor 1,000, indicating that the circuit will keep
+// passing data (albeit with errors) in the presence of quite high levels of
+// interference on the inter-chip wires."
+//
+// We stream symbols over the modelled 2-of-7 NRZ link while injecting
+// Poisson glitches on all eight wires, and count deadlocks per million
+// symbols for both converter designs across a sweep of glitch rates.
+#include <cstdio>
+#include <string>
+
+#include "link/glitch_link.hpp"
+
+namespace {
+
+using namespace spinn;
+using link::GlitchLink;
+using link::GlitchLinkConfig;
+using link::PhaseConverter;
+
+struct Outcome {
+  double deadlocks_per_msymbol;
+  double corrupt_percent;
+  std::uint64_t symbols;
+};
+
+Outcome measure(PhaseConverter::Kind kind, double rate_hz, int trials,
+                std::uint64_t symbols_per_trial) {
+  std::uint64_t deadlocks = 0;
+  std::uint64_t symbols = 0;
+  std::uint64_t corrupted = 0;
+  for (int t = 0; t < trials; ++t) {
+    sim::Simulator sim(static_cast<std::uint64_t>(t) * 7919 + 13);
+    GlitchLinkConfig cfg;
+    cfg.kind = kind;
+    cfg.glitch_rate_hz = rate_hz;
+    GlitchLink glink(sim, cfg, static_cast<std::uint64_t>(t) * 104729 + 7);
+    glink.start(symbols_per_trial);
+    sim.run_until(static_cast<TimeNs>(symbols_per_trial) *
+                      glink.symbol_period() * 4 +
+                  kMillisecond);
+    if (glink.deadlocked()) ++deadlocks;
+    symbols += glink.stats().delivered;
+    corrupted += glink.stats().corrupted;
+  }
+  const double msym = static_cast<double>(symbols) / 1e6;
+  return Outcome{msym > 0 ? static_cast<double>(deadlocks) / msym : 0.0,
+                 symbols ? 100.0 * static_cast<double>(corrupted) /
+                               static_cast<double>(symbols)
+                         : 0.0,
+                 symbols};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E1: glitch-induced deadlock — conventional XOR vs Fig. 6 "
+              "transition-sensing phase converter\n");
+  std::printf("Paper claim: transition sensing reduces deadlocks by ~x1000 "
+              "and keeps passing data (with errors).\n\n");
+  std::printf("%-14s %22s %22s %12s %16s\n", "glitch rate", "conventional",
+              "transition-sensing", "reduction", "sensing errors");
+  std::printf("%-14s %22s %22s %12s %16s\n", "(Hz/wire)",
+              "(deadlocks/Msym)", "(deadlocks/Msym)", "(x)", "(% symbols)");
+
+  const int trials = 60;
+  const std::uint64_t symbols = 20'000;
+  double ratio_sum = 0.0;
+  int ratio_count = 0;
+  for (const double rate : {1e5, 3e5, 1e6, 3e6, 1e7}) {
+    const Outcome conv =
+        measure(PhaseConverter::Kind::ConventionalXor, rate, trials, symbols);
+    const Outcome sens = measure(PhaseConverter::Kind::TransitionSensing,
+                                 rate, trials, symbols);
+    const double ratio = sens.deadlocks_per_msymbol > 0
+                             ? conv.deadlocks_per_msymbol /
+                                   sens.deadlocks_per_msymbol
+                             : 0.0;
+    if (ratio > 0) {
+      ratio_sum += ratio;
+      ++ratio_count;
+    }
+    std::printf("%-14.0f %22.2f %22.3f %12s %16.2f\n", rate,
+                conv.deadlocks_per_msymbol, sens.deadlocks_per_msymbol,
+                ratio > 0 ? std::to_string(static_cast<long>(ratio)).c_str()
+                          : ">measured",
+                sens.corrupt_percent);
+  }
+  if (ratio_count > 0) {
+    std::printf("\nMean measured reduction factor: x%.0f  (paper: ~x1000)\n",
+                ratio_sum / ratio_count);
+  }
+  std::printf("Mechanism: conventional converters lose the handshake token "
+              "when a runt pulse flips the phase\nreference; the "
+              "transition-sensing circuit converts glitches into data errors "
+              "and is vulnerable only\nduring its enable-gate switching "
+              "window (~2 ps/capture).\n");
+  return 0;
+}

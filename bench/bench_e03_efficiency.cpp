@@ -1,0 +1,39 @@
+// E3 — §2: the two cost-effectiveness metrics of many-core architectures.
+//
+// Paper claims: "On the first of these measures [MIPS/mm^2] embedded and
+// high-end processors are roughly equal — a SpiNNaker chip with 20 ARM cores
+// delivers about the same throughput as a high-end desktop processor — but
+// on energy-efficiency [MIPS/W] the embedded processors win by an order of
+// magnitude."
+#include <cstdio>
+
+#include "energy/cost_model.hpp"
+
+int main() {
+  using namespace spinn::energy;
+
+  std::printf("E3: MIPS/mm^2 and MIPS/W — embedded vs high-end (2010-era "
+              "parts)\n\n");
+  std::printf("%-38s %10s %10s %9s %12s %10s\n", "processor", "MIPS", "mm^2",
+              "W", "MIPS/mm^2", "MIPS/W");
+
+  const ProcessorSpec specs[] = {arm968_core(), spinnaker_node(),
+                                 desktop_cpu()};
+  for (const ProcessorSpec& p : specs) {
+    std::printf("%-38s %10.0f %10.1f %9.2f %12.1f %10.0f\n", p.name, p.mips,
+                p.area_mm2, p.power_watts, mips_per_mm2(p), mips_per_watt(p));
+  }
+
+  const ProcessorSpec node = spinnaker_node();
+  const ProcessorSpec desktop = desktop_cpu();
+  std::printf("\nThroughput: 20-ARM node / desktop = x%.2f   (paper: "
+              "\"about the same\")\n",
+              node.mips / desktop.mips);
+  std::printf("Area efficiency: node / desktop = x%.2f      (paper: "
+              "\"roughly equal\")\n",
+              mips_per_mm2(node) / mips_per_mm2(desktop));
+  std::printf("Energy efficiency: node / desktop = x%.0f    (paper: \"an "
+              "order of magnitude\")\n",
+              mips_per_watt(node) / mips_per_watt(desktop));
+  return 0;
+}

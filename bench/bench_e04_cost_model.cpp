@@ -1,0 +1,39 @@
+// E4 — §3.3: energy frugality and the ownership-cost argument.
+//
+// Paper claims: "A PC costs around $1,000 and consumes 300W.  A Watt costs
+// $1/year.  So the energy cost of a PC equals the purchase cost after a
+// little more than three years... At current prices the purchase and energy
+// costs are roughly equal"; and a SpiNNaker node gives "a similar
+// performance to a PC ... for a component cost of around $20 and a power
+// consumption under 1 Watt."
+#include <cstdio>
+
+#include "energy/cost_model.hpp"
+
+int main() {
+  using namespace spinn::energy;
+
+  const OwnershipCost pc = pc_ownership();
+  const OwnershipCost node = spinnaker_node_ownership();
+
+  std::printf("E4: ownership cost — PC vs SpiNNaker node ($1/W/year)\n\n");
+  std::printf("%-8s %16s %16s %18s\n", "years", "PC total ($)",
+              "node total ($)", "PC energy share");
+  for (int years = 0; years <= 6; ++years) {
+    const double pc_total = pc.total(years);
+    const double energy_share =
+        (pc_total - pc.purchase_dollars) / pc_total * 100.0;
+    std::printf("%-8d %16.0f %16.1f %17.0f%%\n", years, pc_total,
+                node.total(years), energy_share);
+  }
+
+  std::printf("\nPC energy-cost crossover: %.2f years (paper: \"a little "
+              "more than three years\")\n",
+              pc.energy_crossover_years());
+  std::printf("Node purchase: $%.0f (paper: ~$20), node power: %.1f W "
+              "(paper: <1 W)\n",
+              node.purchase_dollars, node.power_watts);
+  std::printf("5-year ownership ratio, PC/node: x%.0f\n",
+              pc.total(5.0) / node.total(5.0));
+  return 0;
+}

@@ -1,0 +1,111 @@
+// E7 — §3.1/§5.3: multicast packet latency across the machine.
+//
+// Paper claims: "Spike events generate small packets that are delivered
+// well within a 1ms time window to any target processor in the system";
+// "The communications fabric is designed to deliver mc packets in
+// significantly under 1ms, whatever the distance from source to
+// destination.  It is also intended to operate in a lightly-loaded regime
+// to minimize congestion."
+//
+// Part A: latency vs hop distance on a 24x24 torus (lightly loaded).
+// Part B: latency vs offered load over a fixed 4-hop path — the congestion
+// knee that motivates the lightly-loaded regime.
+#include <cstdio>
+#include <memory>
+
+#include "core/traffic.hpp"
+#include "mesh/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace spinn;
+
+mesh::MachineConfig machine_config(std::uint16_t dim) {
+  mesh::MachineConfig mc;
+  mc.width = dim;
+  mc.height = dim;
+  mc.chip.num_cores = 2;
+  mc.chip.clock_drift_ppm_sigma = 0.0;
+  return mc;
+}
+
+/// Measure source->core delivery latency over `hops` eastward hops.
+void measure_distance(std::uint16_t dim, int hops, double packets_per_tick,
+                      double* mean_us, double* p99_us, double* max_us,
+                      std::uint64_t* delivered) {
+  sim::Simulator sim(3);
+  mesh::Machine m(sim, machine_config(dim));
+  const RoutingKey key = 0x10;
+  const ChipCoord src{0, 0};
+  const ChipCoord dst{static_cast<std::uint16_t>(hops % dim), 0};
+  m.chip_at(src).router().mc_table().add(
+      {key, ~0u, router::Route::to_link(LinkDir::East)});
+  m.chip_at(dst).router().mc_table().add(
+      {key, ~0u, router::Route::to_core(1)});
+
+  sim::Histogram latency(0.0, 1e6, 1000);
+  auto probe = std::make_unique<core::LatencyProbe>(&latency);
+  core::LatencyProbe* probe_ptr = probe.get();
+  m.chip_at(dst).core(1).load_program(std::move(probe));
+  m.chip_at(dst).core(1).start();
+
+  core::TrafficSource::Config tc;
+  tc.keys = {key};
+  tc.packets_per_tick = packets_per_tick;
+  auto source = std::make_unique<core::TrafficSource>(tc);
+  m.chip_at(src).core(1).load_program(std::move(source));
+  m.chip_at(src).core(1).start();
+
+  m.start_all_timers();
+  sim.run_until(200 * kMillisecond);
+  m.stop_all_timers();
+  sim.run_until(sim.now() + 2 * kMillisecond);
+
+  *mean_us = latency.summary().mean() / 1000.0;
+  *p99_us = latency.percentile(0.99) / 1000.0;
+  *max_us = latency.summary().max() / 1000.0;
+  *delivered = probe_ptr->received();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E7: multicast latency across the fabric\n\n");
+
+  std::printf("Part A: latency vs hop distance (24x24 torus, ~2 packets/ms "
+              "offered)\n");
+  std::printf("%-8s %12s %12s %12s %12s %14s\n", "hops", "mean(us)",
+              "p99(us)", "max(us)", "delivered", "<1ms budget?");
+  double worst_max = 0.0;
+  for (const int hops : {1, 2, 4, 6, 8, 10, 12}) {
+    double mean_us, p99_us, max_us;
+    std::uint64_t delivered;
+    measure_distance(24, hops, 2.0, &mean_us, &p99_us, &max_us, &delivered);
+    worst_max = max_us > worst_max ? max_us : worst_max;
+    std::printf("%-8d %12.2f %12.2f %12.2f %12llu %14s\n", hops, mean_us,
+                p99_us, max_us, static_cast<unsigned long long>(delivered),
+                max_us < 1000.0 ? "yes" : "NO");
+  }
+  std::printf("\nWorst observed delivery: %.1f us — %.1fx under the 1 ms "
+              "window (paper: \"significantly under 1ms,\nwhatever the "
+              "distance\").\n\n",
+              worst_max, 1000.0 / worst_max);
+
+  std::printf("Part B: latency vs offered load over 4 hops (congestion "
+              "knee)\n");
+  std::printf("%-22s %12s %12s %12s\n", "offered (pkts/ms)", "mean(us)",
+              "p99(us)", "delivered");
+  for (const double rate : {1.0, 10.0, 50.0, 200.0, 500.0, 1000.0}) {
+    double mean_us, p99_us, max_us;
+    std::uint64_t delivered;
+    measure_distance(8, 4, rate, &mean_us, &p99_us, &max_us, &delivered);
+    std::printf("%-22.0f %12.2f %12.2f %12llu\n", rate, mean_us, p99_us,
+                static_cast<unsigned long long>(delivered));
+  }
+  std::printf("\nLatency is flat until the 40-bit/250-Mb/s serialization "
+              "budget (~6.2k pkts/ms/link) nears; the\ndesign point keeps "
+              "the fabric lightly loaded so congestion delays stay "
+              "negligible (§5.3).\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Micro-benchmarks (google-benchmark) for the simulator's hot kernels: the
+// delay-insensitive codecs, multicast table lookup, event-queue operations,
+// neuron-slice updates, the deferred-event ring and topology routing.
+// These bound how large a machine/network the simulator itself can handle.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "link/codes.hpp"
+#include "mesh/topology.hpp"
+#include "neural/input_ring.hpp"
+#include "neural/neuron_models.hpp"
+#include "router/routing_table.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace spinn;
+
+void BM_CodecRtzRoundTrip(benchmark::State& state) {
+  const link::ThreeOfSixRtz code;
+  std::uint8_t v = 0;
+  for (auto _ : state) {
+    const auto w = code.encode(v);
+    benchmark::DoNotOptimize(code.decode(w));
+    v = (v + 1) & 0xF;
+  }
+}
+BENCHMARK(BM_CodecRtzRoundTrip);
+
+void BM_CodecNrzRoundTrip(benchmark::State& state) {
+  const link::TwoOfSevenNrz code;
+  std::uint8_t v = 0;
+  for (auto _ : state) {
+    const auto w = code.encode(v);
+    benchmark::DoNotOptimize(code.decode(w));
+    v = (v + 1) & 0xF;
+  }
+}
+BENCHMARK(BM_CodecNrzRoundTrip);
+
+void BM_McTableLookup(benchmark::State& state) {
+  router::MulticastTable table;
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < entries; ++i) {
+    table.add({static_cast<RoutingKey>(i << 11), 0xFFFFF800u,
+               router::Route::to_core(1)});
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto key = static_cast<RoutingKey>(rng.uniform_int(entries) << 11);
+    benchmark::DoNotOptimize(table.lookup(key));
+  }
+}
+BENCHMARK(BM_McTableLookup)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_EventQueueSchedule(benchmark::State& state) {
+  sim::EventQueue q;
+  TimeNs t = 0;
+  for (auto _ : state) {
+    q.schedule_at(++t, [] {});
+    if (q.pending() > 10000) q.clear();
+  }
+}
+BENCHMARK(BM_EventQueueSchedule);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  sim::EventQueue q;
+  Rng rng(2);
+  TimeNs horizon = 0;
+  for (int i = 0; i < 1000; ++i) {
+    q.schedule_at(static_cast<TimeNs>(rng.uniform_int(1'000'000)), [] {});
+  }
+  for (auto _ : state) {
+    q.step();
+    horizon = q.now() + 1 + static_cast<TimeNs>(rng.uniform_int(1000));
+    q.schedule_at(horizon, [] {});
+  }
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_LifSliceUpdate(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  neural::LifSlice slice(n, neural::LifParams{});
+  std::vector<Accum> input(n, Accum::from_double(0.5));
+  std::vector<std::uint32_t> spikes;
+  for (auto _ : state) {
+    spikes.clear();
+    slice.update(input, spikes);
+    benchmark::DoNotOptimize(spikes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LifSliceUpdate)->Arg(256)->Arg(1024);
+
+void BM_IzhSliceUpdate(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  neural::IzhSlice slice(n, neural::IzhParams{});
+  std::vector<Accum> input(n, Accum::from_double(3.0));
+  std::vector<std::uint32_t> spikes;
+  for (auto _ : state) {
+    spikes.clear();
+    slice.update(input, spikes);
+    benchmark::DoNotOptimize(spikes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_IzhSliceUpdate)->Arg(256)->Arg(1024);
+
+void BM_InputRingAddDrain(benchmark::State& state) {
+  neural::InputRing ring(256);
+  Rng rng(3);
+  std::uint32_t tick = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      ring.add(tick, static_cast<std::uint32_t>(rng.uniform_int(256)),
+               static_cast<std::uint8_t>(1 + rng.uniform_int(15)),
+               Accum::from_double(0.1));
+    }
+    benchmark::DoNotOptimize(ring.drain(tick));
+    ++tick;
+  }
+}
+BENCHMARK(BM_InputRingAddDrain);
+
+void BM_TopologyRoute(benchmark::State& state) {
+  const mesh::Topology topo(48, 48);
+  Rng rng(4);
+  for (auto _ : state) {
+    const ChipCoord a{static_cast<std::uint16_t>(rng.uniform_int(48)),
+                      static_cast<std::uint16_t>(rng.uniform_int(48))};
+    const ChipCoord b{static_cast<std::uint16_t>(rng.uniform_int(48)),
+                      static_cast<std::uint16_t>(rng.uniform_int(48))};
+    benchmark::DoNotOptimize(topo.route(a, b));
+  }
+}
+BENCHMARK(BM_TopologyRoute);
+
+void BM_RngPoisson(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.poisson(3.0));
+  }
+}
+BENCHMARK(BM_RngPoisson);
+
+}  // namespace

@@ -1,0 +1,322 @@
+#include "boot/boot_controller.hpp"
+
+#include <algorithm>
+
+#include "boot/boot_messages.hpp"
+
+namespace spinn::boot {
+
+BootController::BootController(sim::Simulator& sim, mesh::Machine& machine,
+                               const BootConfig& config)
+    : sim_(sim), machine_(machine), cfg_(config), rng_(sim.rng().split()) {
+  nodes_.resize(machine_.num_chips());
+  for (auto& n : nodes_) {
+    n.have_block.assign(cfg_.image_blocks, 0);
+    n.forwards_left.assign(cfg_.image_blocks, cfg_.redundancy);
+  }
+}
+
+void BootController::start(DoneCallback done) {
+  done_ = std::move(done);
+
+  // Wire every chip's monitor inbox to the boot firmware.
+  const mesh::Topology& topo = machine_.topology();
+  for (std::size_t i = 0; i < machine_.num_chips(); ++i) {
+    const ChipCoord c = topo.coord_of(i);
+    machine_.chip_at(c).set_monitor_packet_handler(
+        [this, i](const router::Packet& p) { on_monitor_packet(i, p); });
+  }
+  // Host frames surface at node (0,0)'s monitor.
+  machine_.host_link().set_to_node([this](const router::Packet& p) {
+    on_monitor_packet(machine_.topology().index(ChipCoord{0, 0}), p);
+  });
+
+  run_elections();
+}
+
+void BootController::run_elections() {
+  const mesh::Topology& topo = machine_.topology();
+  elections_pending_ = 0;
+  for (std::size_t i = 0; i < machine_.num_chips(); ++i) {
+    const ChipCoord c = topo.coord_of(i);
+    if (machine_.chip_failed(c)) continue;  // stone dead: not even self-test
+    ++elections_pending_;
+    machine_.chip_at(c).run_self_test_and_election(
+        [this, i](std::optional<CoreIndex> monitor) {
+          nodes_[i].alive = monitor.has_value();
+          if (--elections_pending_ == 0) after_elections();
+        });
+  }
+  if (elections_pending_ == 0) after_elections();
+}
+
+void BootController::after_elections() {
+  report_.elections_done = sim_.now();
+  rescue_pass();
+}
+
+void BootController::rescue_pass() {
+  // Booted chips probe their neighbours; silence past the timeout triggers
+  // a rescue: boot code is copied over nn packets into the failed node's
+  // System RAM and a new election is forced (§5.2).
+  const mesh::Topology& topo = machine_.topology();
+  for (std::size_t i = 0; i < machine_.num_chips(); ++i) {
+    if (nodes_[i].alive) continue;
+    const ChipCoord c = topo.coord_of(i);
+    if (machine_.chip_failed(c)) continue;  // hardware-dead: unrescuable
+    // Find a booted neighbour to perform the rescue.
+    bool has_helper = false;
+    for (int l = 0; l < kLinksPerChip; ++l) {
+      const ChipCoord nc = topo.neighbour(c, static_cast<LinkDir>(l));
+      if (nodes_[topo.index(nc)].alive) {
+        has_helper = true;
+        break;
+      }
+    }
+    if (!has_helper) continue;
+    if (rng_.chance(cfg_.rescue_success_prob)) {
+      // Neighbour copies boot code into the node's System RAM over nn
+      // packets and instructs a reboot (§5.2); the transient self-test
+      // failures clear and a monitor is forced.
+      chip::Chip& rescued = machine_.chip_at(c);
+      for (CoreIndex k = 0; k < rescued.num_cores(); ++k) {
+        rescued.core(k).reset_after_rescue();
+      }
+      nodes_[i].alive = true;
+      nodes_[i].rescued = true;
+      ++report_.chips_rescued;
+      report_.nn_packets_sent += 8;  // probe + code copy burst
+      rescued.system_controller().force_monitor(0);
+    }
+  }
+
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].alive) {
+      ++report_.chips_alive;
+    } else {
+      ++report_.chips_dead;
+    }
+  }
+
+  // Liveness is now known machine-wide (the probes established it); the
+  // p2p next hops every monitor will install can route around dead nodes.
+  compute_p2p_hops();
+
+  // Give the probe/rescue traffic its timeout window, then break symmetry.
+  sim_.after(cfg_.probe_timeout_ns, [this] { start_coordinate_flood(); });
+}
+
+void BootController::compute_p2p_hops() {
+  const mesh::Topology& topo = machine_.topology();
+  const std::size_t n = machine_.num_chips();
+  hop_toward_.assign(n, std::vector<router::P2pHop>(n, router::P2pHop::Drop));
+
+  std::vector<int> dist(n);
+  std::vector<std::size_t> queue;
+  queue.reserve(n);
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    if (!nodes_[dst].alive) continue;  // unreachable destination
+    auto& hops = hop_toward_[dst];
+    std::fill(dist.begin(), dist.end(), -1);
+    queue.clear();
+    dist[dst] = 0;
+    hops[dst] = router::P2pHop::Local;
+    queue.push_back(dst);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::size_t u = queue[head];
+      const ChipCoord uc = topo.coord_of(u);
+      for (int l = 0; l < kLinksPerChip; ++l) {
+        const auto d = static_cast<LinkDir>(l);
+        const ChipCoord vc = topo.neighbour(uc, d);
+        const std::size_t v = topo.index(vc);
+        if (!nodes_[v].alive || dist[v] >= 0) continue;
+        dist[v] = dist[u] + 1;
+        // From v, the first hop towards dst is the link back to u.
+        hops[v] = static_cast<router::P2pHop>(opposite(d));
+        queue.push_back(v);
+      }
+    }
+  }
+}
+
+void BootController::start_coordinate_flood() {
+  // The host tells the Ethernet-attached node that it is the origin.
+  router::Packet p = make_nn(
+      BootOp::NnCoord,
+      pack_coord(ChipCoord{0, 0}, machine_.width(), machine_.height()));
+  machine_.host_link().send_to_node(p);
+}
+
+void BootController::send_nn(std::size_t chip_index, LinkDir d,
+                             const router::Packet& p) {
+  ++report_.nn_packets_sent;
+  const ChipCoord c = machine_.topology().coord_of(chip_index);
+  machine_.chip_at(c).router().send_nn(d, p);
+}
+
+void BootController::on_monitor_packet(std::size_t chip_index,
+                                       const router::Packet& p) {
+  if (!nodes_[chip_index].alive) return;  // nobody home to service it
+  switch (op_of(p)) {
+    case BootOp::NnCoord:
+      handle_coord(chip_index, p);
+      break;
+    case BootOp::NnBlock:
+      handle_block(chip_index, p);
+      break;
+    case BootOp::P2pLoadDone:
+      // Delivered to (0,0)'s monitor, relayed to the host; progress is
+      // tracked in check_load_done().
+      machine_.host_link().send_to_host(p);
+      break;
+    default:
+      break;
+  }
+}
+
+void BootController::handle_coord(std::size_t chip_index,
+                                  const router::Packet& p) {
+  NodeState& n = nodes_[chip_index];
+  if (n.positioned) return;  // first assignment wins
+  const CoordMessage m = unpack_coord(*p.payload);
+  n.positioned = true;
+  n.assigned = m.coord;
+  check_positioning_done();
+
+  // Re-flood: tell each neighbour its position, derived from ours.
+  sim_.after(cfg_.nn_handling_ns, [this, chip_index, m] {
+    const mesh::Topology& topo = machine_.topology();
+    for (int l = 0; l < kLinksPerChip; ++l) {
+      const auto d = static_cast<LinkDir>(l);
+      const ChipCoord neighbour_coord = topo.neighbour(m.coord, d);
+      send_nn(chip_index, d,
+              make_nn(BootOp::NnCoord,
+                      pack_coord(neighbour_coord, m.width, m.height)));
+    }
+    build_p2p_table(chip_index);
+  });
+}
+
+void BootController::build_p2p_table(std::size_t chip_index) {
+  const ChipCoord self = nodes_[chip_index].assigned;
+  const auto entries =
+      static_cast<std::uint64_t>(machine_.num_chips());
+  const TimeNs compute = static_cast<TimeNs>(entries) * cfg_.p2p_entry_ns;
+  sim_.after(compute, [this, chip_index, self] {
+    const mesh::Topology& topo = machine_.topology();
+    router::P2pTable table(machine_.width(), machine_.height());
+    const std::size_t self_index = topo.index(self);
+    for (std::size_t j = 0; j < machine_.num_chips(); ++j) {
+      const ChipCoord dst = topo.coord_of(j);
+      table.set(make_p2p_address(dst), hop_toward_[j][self_index]);
+    }
+    machine_.chip_at(self).router().p2p_table() = std::move(table);
+    nodes_[chip_index].p2p_ready = true;
+    check_positioning_done();
+  });
+}
+
+void BootController::check_positioning_done() {
+  bool all_positioned = true;
+  bool all_p2p = true;
+  for (const NodeState& n : nodes_) {
+    if (!n.alive) continue;
+    if (!n.positioned) all_positioned = false;
+    if (!n.p2p_ready) all_p2p = false;
+  }
+  if (all_positioned && report_.coords_done == 0) {
+    report_.coords_done = sim_.now();
+  }
+  if (all_p2p && report_.p2p_done == 0) {
+    report_.p2p_done = sim_.now();
+    start_flood_fill();
+  }
+}
+
+void BootController::start_flood_fill() {
+  if (flood_started_) return;
+  flood_started_ = true;
+  // Host streams the image blocks into node (0,0) over Ethernet.
+  for (std::uint32_t b = 0; b < cfg_.image_blocks; ++b) {
+    machine_.host_link().send_to_node(
+        make_nn(BootOp::NnBlock, b, cfg_.words_per_block));
+  }
+}
+
+void BootController::handle_block(std::size_t chip_index,
+                                  const router::Packet& p) {
+  // Transient glitch loss: the block's checksum fails and it is discarded.
+  if (cfg_.block_loss_prob > 0.0 && p.hops > 0 &&
+      rng_.chance(cfg_.block_loss_prob)) {
+    ++report_.blocks_lost;
+    return;
+  }
+  NodeState& n = nodes_[chip_index];
+  const std::uint32_t block = *p.payload;
+  if (block >= cfg_.image_blocks) return;
+  if (n.have_block[block]) {
+    ++report_.duplicate_blocks;
+    // Already held; redundant copies are absorbed, not re-forwarded (the
+    // forwarding budget was spent on first receipt).
+    return;
+  }
+  n.have_block[block] = 1;
+  ++n.blocks_held;
+  forward_block(chip_index, block);
+  if (n.blocks_held == cfg_.image_blocks) {
+    check_load_done();
+  }
+}
+
+void BootController::forward_block(std::size_t chip_index,
+                                   std::uint32_t block) {
+  NodeState& n = nodes_[chip_index];
+  int& budget = n.forwards_left[block];
+  if (budget <= 0) return;
+  // Each forwarding round sends the block out of all six links; redundancy
+  // r repeats the round r times, spaced by the handling time.
+  const int rounds = budget;
+  budget = 0;
+  for (int r = 0; r < rounds; ++r) {
+    const TimeNs delay = cfg_.nn_handling_ns * (r + 1);
+    sim_.after(delay, [this, chip_index, block] {
+      for (int l = 0; l < kLinksPerChip; ++l) {
+        send_nn(chip_index, static_cast<LinkDir>(l),
+                make_nn(BootOp::NnBlock, block, cfg_.words_per_block));
+      }
+    });
+  }
+}
+
+void BootController::check_load_done() {
+  for (const NodeState& n : nodes_) {
+    if (n.alive && n.blocks_held < cfg_.image_blocks) return;
+  }
+  finish();
+}
+
+void BootController::finish() {
+  if (finished_) return;
+  finished_ = true;
+  report_.load_done = sim_.now();
+  report_.complete = true;
+  if (done_) done_(report_);
+}
+
+bool BootController::chip_booted(ChipCoord c) const {
+  return nodes_[machine_.topology().index(c)].alive;
+}
+bool BootController::chip_positioned(ChipCoord c) const {
+  return nodes_[machine_.topology().index(c)].positioned;
+}
+bool BootController::chip_loaded(ChipCoord c) const {
+  const NodeState& n = nodes_[machine_.topology().index(c)];
+  return n.blocks_held == cfg_.image_blocks;
+}
+std::optional<ChipCoord> BootController::assigned_coord(ChipCoord c) const {
+  const NodeState& n = nodes_[machine_.topology().index(c)];
+  if (!n.positioned) return std::nullopt;
+  return n.assigned;
+}
+
+}  // namespace spinn::boot

@@ -1,0 +1,137 @@
+// Machine-wide distributed boot (§5.2).
+//
+// "SpiNNaker is a highly-distributed homogeneous system with no explicit
+// means of synchronization" — boot proceeds in event-driven stages, all
+// carried by the fabric itself:
+//
+//   1. every chip self-tests its cores and elects a Monitor Processor
+//      through the System Controller's read-sensitive register;
+//   2. booted chips probe their six neighbours with nn packets; a chip that
+//      failed to boot is rescued (code copied into its System RAM, election
+//      re-forced) if it has any usable core;
+//   3. the Ethernet-attached node is assigned (0,0) by the host and the
+//      coordinates flood outwards over nn packets (breaking system-level
+//      symmetry);
+//   4. each positioned chip computes its p2p routing table;
+//   5. the host flood-fills the application image: blocks enter at (0,0)
+//      and every chip re-forwards each block to its neighbours, `redundancy`
+//      times, which trades load time against tolerance of lost packets [15].
+//
+// Per-chip firmware state lives in this controller (indexed by chip), acting
+// as the Monitor Processor's boot ROM.  All inter-chip communication really
+// traverses the simulated routers and links.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "mesh/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace spinn::boot {
+
+struct BootConfig {
+  /// Application image: number of flood-fill blocks and words per block.
+  std::uint32_t image_blocks = 32;
+  std::uint16_t words_per_block = 64;
+  /// How many times each chip re-forwards every block (§5.2 fault-tolerance
+  /// vs load-time trade-off).
+  int redundancy = 1;
+  /// Probability an nn block transfer is corrupted and discarded (transient
+  /// link glitches, modelled at CRC level).
+  double block_loss_prob = 0.0;
+  /// Monitor firmware handling time per nn message.
+  TimeNs nn_handling_ns = 2 * kMicrosecond;
+  /// Monitor firmware time to compute one p2p table entry.
+  TimeNs p2p_entry_ns = 200;
+  /// Chance that a chip whose election initially found no usable core can
+  /// be revived by a neighbour rescue (transient self-test failures).
+  double rescue_success_prob = 0.75;
+  /// Neighbour probe timeout before a rescue is attempted.
+  TimeNs probe_timeout_ns = 500 * kMicrosecond;
+};
+
+struct BootReport {
+  TimeNs elections_done = 0;   // all chips resolved (monitor or dead)
+  TimeNs coords_done = 0;      // every alive chip knows its position
+  TimeNs p2p_done = 0;         // every alive chip routed
+  TimeNs load_done = 0;        // every alive chip holds the whole image
+  std::size_t chips_alive = 0;
+  std::size_t chips_rescued = 0;
+  std::size_t chips_dead = 0;
+  std::uint64_t nn_packets_sent = 0;
+  std::uint64_t duplicate_blocks = 0;  // redundancy overhead received
+  std::uint64_t blocks_lost = 0;       // injected transfer losses
+  bool complete = false;
+};
+
+class BootController {
+ public:
+  using DoneCallback = std::function<void(const BootReport&)>;
+
+  BootController(sim::Simulator& sim, mesh::Machine& machine,
+                 const BootConfig& config);
+
+  /// Run the whole sequence; `done` fires when the image is everywhere (or
+  /// boot stalls — report.complete tells which).
+  void start(DoneCallback done);
+
+  const BootReport& report() const { return report_; }
+
+  /// Per-chip observability for tests.
+  bool chip_booted(ChipCoord c) const;
+  bool chip_positioned(ChipCoord c) const;
+  bool chip_loaded(ChipCoord c) const;
+  std::optional<ChipCoord> assigned_coord(ChipCoord c) const;
+
+ private:
+  struct NodeState {
+    bool alive = false;          // has an elected monitor
+    bool rescued = false;
+    bool positioned = false;     // received coordinate assignment
+    ChipCoord assigned{};
+    bool p2p_ready = false;
+    std::vector<std::uint8_t> have_block;  // image reassembly bitmap
+    std::uint32_t blocks_held = 0;
+    bool load_reported = false;
+    std::vector<int> forwards_left;        // per-block redundancy budget
+  };
+
+  void run_elections();
+  void after_elections();
+  void rescue_pass();
+  void start_coordinate_flood();
+  /// Liveness-aware p2p next hops: reverse BFS from every destination over
+  /// the alive chips, so system-management traffic routes *around* dead
+  /// nodes (the real tables are built from nn-discovered liveness, not
+  /// blind geometry).  hop_toward_[dst_index][chip_index].
+  void compute_p2p_hops();
+  void on_monitor_packet(std::size_t chip_index, const router::Packet& p);
+  void handle_coord(std::size_t chip_index, const router::Packet& p);
+  void handle_block(std::size_t chip_index, const router::Packet& p);
+  void build_p2p_table(std::size_t chip_index);
+  void start_flood_fill();
+  void forward_block(std::size_t chip_index, std::uint32_t block);
+  void send_nn(std::size_t chip_index, LinkDir d, const router::Packet& p);
+  void check_positioning_done();
+  void check_load_done();
+  void finish();
+
+  sim::Simulator& sim_;
+  mesh::Machine& machine_;
+  BootConfig cfg_;
+  Rng rng_;
+  DoneCallback done_;
+  BootReport report_;
+  std::vector<NodeState> nodes_;
+  std::vector<std::vector<router::P2pHop>> hop_toward_;
+  std::size_t elections_pending_ = 0;
+  bool flood_started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace spinn::boot

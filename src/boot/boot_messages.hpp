@@ -1,0 +1,63 @@
+// Wire format of the boot-time nearest-neighbour / p2p protocol (§5.2).
+//
+// nn packets carry a 32-bit operation word (we use the packet's `key`) and a
+// 32-bit data payload, exactly enough for the protocol the paper sketches:
+// neighbour liveness probing and rescue, the coordinate flood from node
+// (0,0), and flood-fill block distribution.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "router/packet.hpp"
+
+namespace spinn::boot {
+
+enum class BootOp : std::uint32_t {
+  NnPing = 1,       // "are you booted?"
+  NnPong = 2,       // "yes: here is my state"
+  NnRescue = 3,     // "re-run your election / reboot from this code"
+  NnCoord = 4,      // coordinate flood: payload = packed (x, y, w, h)
+  NnBlock = 5,      // flood-fill application block: payload = block id
+  P2pLoadDone = 6,  // chip -> host: "I hold the complete image"
+};
+
+/// Pack chip coordinates and machine dimensions into the 32-bit payload of
+/// an NnCoord packet (8 bits each: the real p2p address space is 256x256).
+constexpr std::uint32_t pack_coord(ChipCoord c, std::uint16_t w,
+                                   std::uint16_t h) {
+  return (static_cast<std::uint32_t>(c.x & 0xFF) << 24) |
+         (static_cast<std::uint32_t>(c.y & 0xFF) << 16) |
+         (static_cast<std::uint32_t>(w & 0xFF) << 8) |
+         static_cast<std::uint32_t>(h & 0xFF);
+}
+
+struct CoordMessage {
+  ChipCoord coord;
+  std::uint16_t width;
+  std::uint16_t height;
+};
+
+constexpr CoordMessage unpack_coord(std::uint32_t payload) {
+  return CoordMessage{
+      ChipCoord{static_cast<std::uint16_t>((payload >> 24) & 0xFF),
+                static_cast<std::uint16_t>((payload >> 16) & 0xFF)},
+      static_cast<std::uint16_t>((payload >> 8) & 0xFF),
+      static_cast<std::uint16_t>(payload & 0xFF)};
+}
+
+inline router::Packet make_nn(BootOp op, std::uint32_t payload,
+                              std::uint16_t burst_words = 0) {
+  router::Packet p;
+  p.type = router::PacketType::NearestNeighbour;
+  p.key = static_cast<std::uint32_t>(op);
+  p.payload = payload;
+  p.burst_words = burst_words;
+  return p;
+}
+
+inline BootOp op_of(const router::Packet& p) {
+  return static_cast<BootOp>(p.key);
+}
+
+}  // namespace spinn::boot

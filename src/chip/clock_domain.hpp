@@ -1,0 +1,50 @@
+// GALS clock domains (§4, Fig. 5; §3.1 "bounded asynchrony").
+//
+// Each chip's cores are clocked from a local source with its own frequency
+// error: there is no global clock.  The 1 ms timer interrupts therefore run
+// at *approximately* the same rate everywhere — close enough that system-wide
+// synchrony emerges as a side-effect, which is exactly the claim experiment
+// E9 measures.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace spinn::chip {
+
+class ClockDomain {
+ public:
+  /// `drift_ppm` is this domain's frequency error in parts-per-million
+  /// (positive = fast clock: local "1 ms" is slightly shorter).
+  ClockDomain(double nominal_hz, double ipc, double drift_ppm)
+      : nominal_hz_(nominal_hz), ipc_(ipc), drift_ppm_(drift_ppm) {}
+
+  double effective_hz() const {
+    return nominal_hz_ * (1.0 + drift_ppm_ * 1e-6);
+  }
+
+  double drift_ppm() const { return drift_ppm_; }
+
+  /// Wall-clock (simulation) time to execute `instructions` on a core in
+  /// this domain.
+  TimeNs instruction_time(std::uint64_t instructions) const {
+    const double cycles = static_cast<double>(instructions) / ipc_;
+    const double sec = cycles / effective_hz();
+    const auto ns = static_cast<TimeNs>(sec * 1e9 + 0.5);
+    return ns > 0 ? ns : 1;
+  }
+
+  /// The local realisation of a nominal period (e.g. the 1 ms timer),
+  /// stretched or squeezed by the clock error.
+  TimeNs local_period(TimeNs nominal) const {
+    const double scaled =
+        static_cast<double>(nominal) / (1.0 + drift_ppm_ * 1e-6);
+    return static_cast<TimeNs>(scaled + 0.5);
+  }
+
+ private:
+  double nominal_hz_;
+  double ipc_;
+  double drift_ppm_;
+};
+
+}  // namespace spinn::chip

@@ -1,0 +1,143 @@
+#include "chip/core.hpp"
+
+#include <algorithm>
+
+namespace spinn::chip {
+
+Core::Core(sim::Simulator& sim, CoreId id, const ClockDomain& clock,
+           DmaController& dma, std::uint64_t seed)
+    : sim_(sim), id_(id), clock_(clock), dma_(dma), rng_(seed) {
+  dma_.set_completion([this](const DmaDone& d) { dma_interrupt(d); });
+}
+
+void Core::load_program(std::unique_ptr<CoreProgram> program) {
+  program_ = std::move(program);
+}
+
+std::unique_ptr<CoreProgram> Core::take_program() {
+  state_ = CoreState::Off;
+  packet_queue_.clear();
+  dma_queue_.clear();
+  timer_pending_ = 0;
+  return std::move(program_);
+}
+
+void Core::start() {
+  if (state_ == CoreState::Failed || !program_) return;
+  state_ = CoreState::Sleeping;
+  run_handler(program_->on_start(*this));
+}
+
+void Core::send_mc(RoutingKey key, std::optional<std::uint32_t> payload) {
+  router::Packet p;
+  p.type = router::PacketType::Multicast;
+  p.key = key;
+  p.payload = payload;
+  p.launched_at = sim_.now();
+  ++stats_.packets_sent;
+  if (mc_send_) mc_send_(p);
+}
+
+void Core::send_p2p(P2pAddress dst, std::uint32_t payload) {
+  router::Packet p;
+  p.type = router::PacketType::PointToPoint;
+  p.src = make_p2p_address(id_.chip);
+  p.dst = dst;
+  p.payload = payload;
+  p.launched_at = sim_.now();
+  ++stats_.packets_sent;
+  if (p2p_send_) p2p_send_(p);
+}
+
+void Core::dma_read(std::uint32_t bytes, std::uint64_t cookie) {
+  dma_.read(bytes, cookie);
+}
+
+void Core::dma_write(std::uint32_t bytes, std::uint64_t cookie) {
+  dma_.write(bytes, cookie);
+}
+
+void Core::timer_interrupt() {
+  if (!usable()) return;
+  if (timer_pending_ > 0 || (state_ == CoreState::Busy && servicing_timer_)) {
+    // Previous millisecond's work not finished: missed real-time deadline.
+    ++stats_.overruns;
+  }
+  ++timer_pending_;
+  dispatch();
+}
+
+void Core::packet_interrupt(const router::Packet& p) {
+  if (!usable()) return;
+  if (packet_queue_.size() >= kPacketQueueLimit) {
+    ++stats_.packets_dropped;
+    return;
+  }
+  packet_queue_.push_back(p);
+  stats_.max_packet_queue =
+      std::max(stats_.max_packet_queue, packet_queue_.size());
+  dispatch();
+}
+
+void Core::dma_interrupt(const DmaDone& d) {
+  if (!usable()) return;
+  dma_queue_.push_back(d);
+  dispatch();
+}
+
+void Core::dispatch() {
+  if (state_ != CoreState::Sleeping || in_handler_) return;
+  if (!program_) return;
+
+  // Fig. 7 priority order: packet > DMA > timer.
+  if (!packet_queue_.empty()) {
+    const router::Packet p = packet_queue_.front();
+    packet_queue_.pop_front();
+    ++stats_.packet_events;
+    in_handler_ = true;
+    const std::uint64_t instr = program_->on_packet(*this, p);
+    in_handler_ = false;
+    run_handler(instr);
+    return;
+  }
+  if (!dma_queue_.empty()) {
+    const DmaDone d = dma_queue_.front();
+    dma_queue_.pop_front();
+    ++stats_.dma_events;
+    in_handler_ = true;
+    const std::uint64_t instr = program_->on_dma_done(*this, d);
+    in_handler_ = false;
+    run_handler(instr);
+    return;
+  }
+  if (timer_pending_ > 0) {
+    --timer_pending_;
+    ++timer_ticks_seen_;
+    ++stats_.timer_events;
+    in_handler_ = true;
+    servicing_timer_ = true;
+    const std::uint64_t instr = program_->on_timer(*this);
+    in_handler_ = false;
+    run_handler(instr);
+    return;
+  }
+  // Nothing pending: remain in wait-for-interrupt (Sleeping).
+}
+
+void Core::run_handler(std::uint64_t instructions) {
+  stats_.instructions += instructions;
+  const TimeNs busy = clock_.instruction_time(instructions);
+  stats_.busy_ns += busy;
+  state_ = CoreState::Busy;
+  sim_.after(busy, [this] {
+    // The program may have been migrated away (or the core failed) while
+    // this handler was "executing"; only a still-busy core goes back to
+    // sleep and re-dispatches.
+    if (state_ != CoreState::Busy) return;
+    state_ = CoreState::Sleeping;
+    servicing_timer_ = false;
+    dispatch();
+  }, sim::EventPriority::Interrupt);
+}
+
+}  // namespace spinn::chip

@@ -1,0 +1,46 @@
+// The per-node 1 Gbit mobile DDR SDRAM (§4).
+//
+// Functional payloads (synaptic rows, boot images) are held in typed C++
+// structures by their owners; this class models the *resource*: a bump
+// allocator over the address space plus occupancy accounting, so mapping
+// code can detect when a network's connectivity data exceeds a node's
+// memory.  Timing lives in noc::SystemNoc.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/units.hpp"
+
+namespace spinn::chip {
+
+struct SdramRegion {
+  std::uint32_t offset = 0;
+  std::uint32_t bytes = 0;
+};
+
+class Sdram {
+ public:
+  explicit Sdram(std::uint64_t capacity_bytes = machine::kSdramBytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Allocate a region (word-aligned); nullopt when the SDRAM is full.
+  std::optional<SdramRegion> allocate(std::uint32_t bytes) {
+    const std::uint64_t aligned = (static_cast<std::uint64_t>(bytes) + 3u) & ~3ull;
+    if (next_ + aligned > capacity_) return std::nullopt;
+    SdramRegion r{static_cast<std::uint32_t>(next_),
+                  static_cast<std::uint32_t>(aligned)};
+    next_ += aligned;
+    return r;
+  }
+
+  std::uint64_t used() const { return next_; }
+  std::uint64_t capacity() const { return capacity_; }
+  void reset() { next_ = 0; }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace spinn::chip

@@ -1,0 +1,39 @@
+// Per-chip System Controller (§5.2).
+//
+// Its role in this model is the boot-time symmetry breaking: "There is a
+// read-sensitive register in the System Controller that effectively serves
+// as arbiter... ensuring that one and only one processor is chosen as
+// Monitor."  The first core to read the register after reset becomes the
+// Monitor Processor; every later read returns 'taken'.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace spinn::chip {
+
+class SystemController {
+ public:
+  /// A core (having passed self-test) reads the arbitration register.
+  /// Returns true exactly once per reset: that reader is the Monitor.
+  bool read_monitor_arbiter(CoreIndex reader) {
+    if (monitor_.has_value()) return false;
+    monitor_ = reader;
+    return true;
+  }
+
+  std::optional<CoreIndex> monitor() const { return monitor_; }
+
+  /// Neighbour-driven rescue (§5.2): nn packets can force a new election,
+  /// e.g. when neighbours detect this chip failed to boot.
+  void force_monitor(CoreIndex core) { monitor_ = core; }
+
+  void reset() { monitor_.reset(); }
+
+ private:
+  std::optional<CoreIndex> monitor_;
+};
+
+}  // namespace spinn::chip

@@ -1,0 +1,11 @@
+#include "common/fixed_point.hpp"
+
+#include <ostream>
+
+namespace spinn {
+
+std::ostream& operator<<(std::ostream& os, Accum a) {
+  return os << a.to_double();
+}
+
+}  // namespace spinn

@@ -1,0 +1,101 @@
+// S16.15 fixed-point arithmetic ("accum" in the SpiNNaker software stack).
+//
+// The ARM968 has no floating-point unit, so neuron state on the real machine
+// is held in 32-bit signed fixed point with 15 fractional bits.  We model
+// neuron dynamics in the same format so that quantisation behaviour (and the
+// per-update instruction budget) matches the platform the paper describes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+
+namespace spinn {
+
+class Accum {
+ public:
+  static constexpr int kFractionBits = 15;
+  static constexpr std::int32_t kOne = 1 << kFractionBits;
+
+  constexpr Accum() = default;
+
+  static constexpr Accum from_raw(std::int32_t raw) {
+    Accum a;
+    a.raw_ = raw;
+    return a;
+  }
+
+  static constexpr Accum from_int(std::int32_t v) {
+    return from_raw(v << kFractionBits);
+  }
+
+  static constexpr Accum from_double(double v) {
+    return from_raw(static_cast<std::int32_t>(
+        v * static_cast<double>(kOne) + (v >= 0 ? 0.5 : -0.5)));
+  }
+
+  constexpr std::int32_t raw() const { return raw_; }
+  constexpr double to_double() const {
+    return static_cast<double>(raw_) / static_cast<double>(kOne);
+  }
+
+  friend constexpr Accum operator+(Accum a, Accum b) {
+    return from_raw(a.raw_ + b.raw_);
+  }
+  friend constexpr Accum operator-(Accum a, Accum b) {
+    return from_raw(a.raw_ - b.raw_);
+  }
+  friend constexpr Accum operator-(Accum a) { return from_raw(-a.raw_); }
+
+  /// 32x32 -> 64-bit multiply with rounding shift, exactly as the ARM
+  /// SMULL+shift idiom used on the real cores.
+  friend constexpr Accum operator*(Accum a, Accum b) {
+    const std::int64_t wide =
+        static_cast<std::int64_t>(a.raw_) * static_cast<std::int64_t>(b.raw_);
+    return from_raw(static_cast<std::int32_t>(
+        (wide + (std::int64_t{1} << (kFractionBits - 1))) >> kFractionBits));
+  }
+
+  friend constexpr Accum operator/(Accum a, Accum b) {
+    const std::int64_t wide = (static_cast<std::int64_t>(a.raw_)
+                               << kFractionBits);
+    return from_raw(static_cast<std::int32_t>(wide / b.raw_));
+  }
+
+  Accum& operator+=(Accum other) {
+    raw_ += other.raw_;
+    return *this;
+  }
+  Accum& operator-=(Accum other) {
+    raw_ -= other.raw_;
+    return *this;
+  }
+  Accum& operator*=(Accum other) { return *this = *this * other; }
+
+  friend constexpr auto operator<=>(Accum, Accum) = default;
+
+  /// Saturating addition (the hardware DSP path saturates rather than wraps).
+  static constexpr Accum saturating_add(Accum a, Accum b) {
+    const std::int64_t wide =
+        static_cast<std::int64_t>(a.raw_) + static_cast<std::int64_t>(b.raw_);
+    if (wide > INT32_MAX) return from_raw(INT32_MAX);
+    if (wide < INT32_MIN) return from_raw(INT32_MIN);
+    return from_raw(static_cast<std::int32_t>(wide));
+  }
+
+ private:
+  std::int32_t raw_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Accum a);
+
+namespace fixed_literals {
+constexpr Accum operator""_acc(long double v) {
+  return Accum::from_double(static_cast<double>(v));
+}
+constexpr Accum operator""_acc(unsigned long long v) {
+  return Accum::from_int(static_cast<std::int32_t>(v));
+}
+}  // namespace fixed_literals
+
+}  // namespace spinn

@@ -1,0 +1,67 @@
+#include "common/log.hpp"
+
+#include <iostream>
+
+#include "common/types.hpp"
+
+namespace spinn {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Warn:
+      return "WARN ";
+    case LogLevel::Info:
+      return "INFO ";
+    case LogLevel::Debug:
+      return "DEBUG";
+    default:
+      return "     ";
+  }
+}
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+
+void Log::set_level(LogLevel level) { g_level = level; }
+
+void Log::write(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+}
+
+std::ostream& operator<<(std::ostream& os, const ChipCoord& c) {
+  return os << "(" << c.x << "," << c.y << ")";
+}
+
+const char* to_string(LinkDir d) {
+  switch (d) {
+    case LinkDir::East:
+      return "E";
+    case LinkDir::NorthEast:
+      return "NE";
+    case LinkDir::North:
+      return "N";
+    case LinkDir::West:
+      return "W";
+    case LinkDir::SouthWest:
+      return "SW";
+    case LinkDir::South:
+      return "S";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, LinkDir d) {
+  return os << to_string(d);
+}
+
+std::ostream& operator<<(std::ostream& os, const CoreId& id) {
+  return os << id.chip << ":" << static_cast<int>(id.core);
+}
+
+}  // namespace spinn

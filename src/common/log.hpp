@@ -1,0 +1,45 @@
+// Minimal leveled logging.  Off by default so benches stay quiet; tests and
+// examples can raise the level.  Not thread-safe by design: the simulator is
+// single-threaded and deterministic.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace spinn {
+
+enum class LogLevel : int { Off = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
+
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static void write(LogLevel level, const std::string& message);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::Error); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::Warn); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::Info); }
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::Debug); }
+
+}  // namespace spinn

@@ -1,0 +1,75 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be bit-reproducible for a given seed: every stochastic
+// model (glitch injection, Poisson spike sources, clock drift, connectivity
+// wiring) draws from an explicitly-seeded generator that is passed in, never
+// from global state (C++ Core Guidelines I.2: avoid non-const global
+// variables).
+#pragma once
+
+#include <cstdint>
+
+namespace spinn {
+
+/// SplitMix64 — used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    state_ += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality 64-bit generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5EED5EED5EED5EEDull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  std::uint64_t next();
+  result_type operator()() { return next(); }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p);
+
+  /// Poisson-distributed count with the given mean (inversion for small
+  /// means, normal approximation above 60).
+  std::uint32_t poisson(double mean);
+
+  /// Exponentially-distributed interval with the given rate (events/unit).
+  double exponential(double rate);
+
+  /// Standard normal via Box–Muller.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Derive an independent child generator (for per-chip / per-core streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace spinn

@@ -1,0 +1,28 @@
+// Umbrella header: everything a downstream user needs.
+//
+//   #include "core/spinnaker.hpp"
+//
+// pulls in the machine builder/facade (spinn::System), the network
+// description API (spinn::neural::Network), the mapping tools, fault
+// injection, traffic generators and the energy/cost models.
+#pragma once
+
+#include "boot/boot_controller.hpp"
+#include "chip/chip.hpp"
+#include "common/fixed_point.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "core/system.hpp"
+#include "core/traffic.hpp"
+#include "energy/cost_model.hpp"
+#include "energy/energy_model.hpp"
+#include "link/codes.hpp"
+#include "link/glitch_link.hpp"
+#include "link/link_timing.hpp"
+#include "map/loader.hpp"
+#include "mesh/machine.hpp"
+#include "neural/network.hpp"
+#include "neural/retina.hpp"
+#include "router/router.hpp"
+#include "sim/simulator.hpp"

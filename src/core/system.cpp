@@ -1,0 +1,44 @@
+#include "core/system.hpp"
+
+#include <stdexcept>
+
+namespace spinn {
+
+System::System(const SystemConfig& cfg) : cfg_(cfg), sim_(cfg.machine.seed) {
+  machine_ = std::make_unique<mesh::Machine>(sim_, cfg_.machine);
+}
+
+boot::BootReport System::boot() {
+  boot_ = std::make_unique<boot::BootController>(sim_, *machine_, cfg_.boot);
+  bool finished = false;
+  boot::BootReport result;
+  boot_->start([&](const boot::BootReport& r) {
+    result = r;
+    finished = true;
+  });
+  // The boot protocol is self-timed; drive the simulator until it reports.
+  const TimeNs deadline = sim_.now() + 60 * kSecond;
+  while (!finished && sim_.now() < deadline && !sim_.queue().empty()) {
+    sim_.queue().step();
+  }
+  if (!finished) {
+    result = boot_->report();  // stalled boot: report partial progress
+  }
+  return result;
+}
+
+map::LoadReport System::load(const neural::Network& net) {
+  loader_ = std::make_unique<map::Loader>(cfg_.mapper);
+  Rng rng(cfg_.machine.seed ^ 0x10adD00Dull);
+  return loader_->load(net, *machine_, &recorder_, rng);
+}
+
+void System::run(TimeNs duration) {
+  if (!timers_started_) {
+    machine_->start_all_timers();
+    timers_started_ = true;
+  }
+  sim_.run_until(sim_.now() + duration);
+}
+
+}  // namespace spinn

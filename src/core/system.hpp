@@ -1,0 +1,82 @@
+// The top-level public API: build a SpiNNaker machine, boot it, load a
+// spiking neural network, run it in biological real time, inspect spikes,
+// fabric behaviour and energy.
+//
+//   spinn::SystemConfig cfg;
+//   cfg.machine.width = 8;  cfg.machine.height = 8;
+//   spinn::System sys(cfg);
+//   sys.boot();
+//   neural::Network net;  ...populations/projections...
+//   sys.load(net);
+//   sys.run(100 * kMillisecond);
+//   for (auto& e : sys.spikes().events()) ...
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "boot/boot_controller.hpp"
+#include "energy/energy_model.hpp"
+#include "map/loader.hpp"
+#include "mesh/machine.hpp"
+#include "neural/network.hpp"
+#include "neural/spike_record.hpp"
+#include "sim/simulator.hpp"
+
+namespace spinn {
+
+struct SystemConfig {
+  mesh::MachineConfig machine;
+  map::MapperConfig mapper;
+  boot::BootConfig boot;
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& cfg = SystemConfig{});
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  sim::Simulator& simulator() { return sim_; }
+  mesh::Machine& machine() { return *machine_; }
+  const mesh::Machine& machine() const { return *machine_; }
+  TimeNs now() const { return sim_.now(); }
+
+  /// Run the distributed boot sequence (§5.2) to completion and return the
+  /// report.  Optional: load() works on an unbooted machine too (the
+  /// host-side loader then plays the role of the boot ROM).
+  boot::BootReport boot();
+
+  /// Place, route and load a network; cores start immediately.
+  map::LoadReport load(const neural::Network& net);
+
+  /// Advance biological real time.  Starts the 1 ms timers on first call.
+  void run(TimeNs duration);
+
+  neural::SpikeRecorder& spikes() { return recorder_; }
+  const neural::SpikeRecorder& spikes() const { return recorder_; }
+  const std::vector<neural::NeuronApp*>& apps() const {
+    return loader_ ? loader_->apps() : no_apps_;
+  }
+
+  mesh::Machine::FabricTotals fabric_totals() const {
+    return machine_->fabric_totals();
+  }
+  energy::EnergyBreakdown energy(
+      const energy::EnergyParams& params = energy::EnergyParams{}) const {
+    return energy::account(*machine_, sim_.now(), params);
+  }
+
+ private:
+  SystemConfig cfg_;
+  sim::Simulator sim_;
+  std::unique_ptr<mesh::Machine> machine_;
+  std::unique_ptr<boot::BootController> boot_;
+  std::unique_ptr<map::Loader> loader_;
+  neural::SpikeRecorder recorder_;
+  bool timers_started_ = false;
+  std::vector<neural::NeuronApp*> no_apps_;
+};
+
+}  // namespace spinn

@@ -1,0 +1,34 @@
+#include "energy/cost_model.hpp"
+
+namespace spinn::energy {
+
+ProcessorSpec arm968_core() {
+  // 200 MHz x 1.1 DMIPS/MHz; ~0.45 mm^2 core + ~1.4 mm^2 local memories at
+  // 130 nm; ~0.18 mW/MHz core power plus memory access power.
+  return ProcessorSpec{"ARM968 (200 MHz, 130 nm)", 220.0, 1.9, 0.045};
+}
+
+ProcessorSpec spinnaker_node() {
+  // 20 cores + router + NoCs + SDRAM: the paper's "$20, under 1 Watt,
+  // similar performance to a PC" node.
+  return ProcessorSpec{"SpiNNaker node (20x ARM968 + SDRAM)", 20 * 220.0,
+                       102.0, 0.9};
+}
+
+ProcessorSpec desktop_cpu() {
+  // Quad-core ~3 GHz high-end desktop part of the paper's era: ~4x1.25
+  // sustained GIPS equivalent, ~263 mm^2 at 45 nm, ~120 W system-relevant
+  // draw.
+  return ProcessorSpec{"High-end desktop (quad ~3 GHz)", 5000.0, 263.0,
+                       120.0};
+}
+
+double mips_per_mm2(const ProcessorSpec& p) { return p.mips / p.area_mm2; }
+
+double mips_per_watt(const ProcessorSpec& p) { return p.mips / p.power_watts; }
+
+OwnershipCost pc_ownership() { return OwnershipCost{1000.0, 300.0}; }
+
+OwnershipCost spinnaker_node_ownership() { return OwnershipCost{20.0, 0.9}; }
+
+}  // namespace spinn::energy

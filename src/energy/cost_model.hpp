@@ -1,0 +1,53 @@
+// The computer-architecture economics of §2 and §3.3.
+//
+// Two metrics determine cost-effectiveness of a many-core architecture:
+//   MIPS/mm^2 — throughput per unit silicon area (embedded ≈ high-end);
+//   MIPS/W    — throughput per watt (embedded wins ~an order of magnitude).
+// And the ownership-cost argument: "A PC costs around $1,000 and consumes
+// 300 W.  A Watt costs $1/year.  So the energy cost of a PC equals the
+// purchase cost after a little more than three years."  A SpiNNaker node
+// delivers PC-class throughput for ~$20 and <1 W.
+#pragma once
+
+namespace spinn::energy {
+
+/// Parameters of one processor option (2010-era datasheet values).
+struct ProcessorSpec {
+  const char* name;
+  double mips;        // sustained integer throughput
+  double area_mm2;    // die area of the compute complex
+  double power_watts; // typical active power
+};
+
+/// ARM968 core as integrated on the SpiNNaker MPSoC (130 nm): 200 MHz,
+/// ~1.1 DMIPS/MHz, sub-mm^2 with its local memories.
+ProcessorSpec arm968_core();
+
+/// A full 20-core SpiNNaker node: MPSoC + mobile DDR SDRAM.
+ProcessorSpec spinnaker_node();
+
+/// A contemporary high-end desktop processor (quad-core ~3 GHz).
+ProcessorSpec desktop_cpu();
+
+double mips_per_mm2(const ProcessorSpec& p);
+double mips_per_watt(const ProcessorSpec& p);
+
+/// Total cost of ownership in dollars after `years`.
+struct OwnershipCost {
+  double purchase_dollars;
+  double power_watts;
+  double dollars_per_watt_year = 1.0;  // §3.3: "A Watt costs $1/year"
+
+  double total(double years) const {
+    return purchase_dollars + power_watts * dollars_per_watt_year * years;
+  }
+  /// Years until the cumulative energy bill equals the purchase price.
+  double energy_crossover_years() const {
+    return purchase_dollars / (power_watts * dollars_per_watt_year);
+  }
+};
+
+OwnershipCost pc_ownership();         // $1000, 300 W
+OwnershipCost spinnaker_node_ownership();  // $20, <1 W
+
+}  // namespace spinn::energy

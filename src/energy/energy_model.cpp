@@ -1,0 +1,49 @@
+#include "energy/energy_model.hpp"
+
+namespace spinn::energy {
+
+EnergyBreakdown account(const mesh::Machine& machine, TimeNs window,
+                        const EnergyParams& p) {
+  EnergyBreakdown out;
+  const double window_sec = static_cast<double>(window) * 1e-9;
+
+  const mesh::Topology& topo = machine.topology();
+  for (std::size_t i = 0; i < machine.num_chips(); ++i) {
+    const chip::Chip& chip = machine.chip_at(topo.coord_of(i));
+
+    // Cores: busy at active power, the rest of the window asleep.
+    for (CoreIndex c = 0; c < chip.num_cores(); ++c) {
+      const auto& st = chip.core(c).stats();
+      const double busy_sec = static_cast<double>(st.busy_ns) * 1e-9;
+      const double sleep_sec =
+          window_sec > busy_sec ? window_sec - busy_sec : 0.0;
+      out.core_active_j += busy_sec * p.core_active_watts;
+      out.core_sleep_j += sleep_sec * p.core_sleep_watts;
+    }
+
+    // Fabric: every inter-chip traversal ships the packet's bits as 4-bit
+    // symbols off-chip; every local delivery/injection moves them on-chip.
+    const auto& rc = chip.router().counters();
+    std::uint64_t inter_chip_packets = 0;
+    for (int l = 0; l < kLinksPerChip; ++l) {
+      inter_chip_packets += chip.router().port(static_cast<LinkDir>(l)).sent();
+    }
+    const double symbols_per_packet = 40.0 / 4.0;  // header+key packets
+    out.fabric_j += static_cast<double>(inter_chip_packets) *
+                    symbols_per_packet * p.off_chip_pj_per_symbol * 1e-12;
+    out.fabric_j += static_cast<double>(rc.delivered_local) *
+                    symbols_per_packet * p.on_chip_pj_per_symbol * 1e-12;
+    out.router_j += static_cast<double>(rc.received) *
+                    p.router_pj_per_packet * 1e-12;
+
+    // SDRAM.
+    out.sdram_j += static_cast<double>(chip.system_noc().bytes_transferred()) *
+                   p.sdram_pj_per_byte * 1e-12;
+
+    // Static per-chip draw.
+    out.static_j += window_sec * p.chip_static_watts;
+  }
+  return out;
+}
+
+}  // namespace spinn::energy

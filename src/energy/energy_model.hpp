@@ -1,0 +1,59 @@
+// Event-granularity energy accounting for a simulated run (§3.3: "energy
+// frugality — processors are free; the real cost of computing is energy").
+//
+// Sources tallied:
+//   * core active time (busy handler execution) and sleep time (the Fig. 7
+//     wait-for-interrupt state);
+//   * packet hops: wire transitions of the 2-of-7 NRZ inter-chip code or
+//     the 3-of-6 RTZ on-chip fabric (from link/link_timing);
+//   * SDRAM traffic (DMA beats);
+//   * router lookups.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "mesh/machine.hpp"
+
+namespace spinn::energy {
+
+struct EnergyParams {
+  /// ARM968 active power at 200 MHz (W) and WFI sleep power (W).
+  double core_active_watts = 0.040;
+  double core_sleep_watts = 0.002;
+  /// Energy per 4-bit symbol off-chip / on-chip (pJ), from link_timing.
+  double off_chip_pj_per_symbol = 100.0;
+  double on_chip_pj_per_symbol = 1.5;
+  /// SDRAM access energy per byte (pJ) including I/O.
+  double sdram_pj_per_byte = 64.0;
+  /// Router energy per routed packet (CAM lookup + crossbar), pJ.
+  double router_pj_per_packet = 200.0;
+  /// Static (leakage + PLL + SDRAM refresh) per chip, W.
+  double chip_static_watts = 0.05;
+};
+
+struct EnergyBreakdown {
+  double core_active_j = 0.0;
+  double core_sleep_j = 0.0;
+  double fabric_j = 0.0;     // inter-chip + on-chip packet movement
+  double sdram_j = 0.0;
+  double router_j = 0.0;
+  double static_j = 0.0;
+
+  double total_j() const {
+    return core_active_j + core_sleep_j + fabric_j + sdram_j + router_j +
+           static_j;
+  }
+  /// Average power over the accounted wall-clock window.
+  double average_watts(TimeNs window) const {
+    return window > 0 ? total_j() / (static_cast<double>(window) * 1e-9)
+                      : 0.0;
+  }
+};
+
+/// Walk the machine's counters and produce the energy ledger for a run of
+/// duration `window` (simulated ns).
+EnergyBreakdown account(const mesh::Machine& machine, TimeNs window,
+                        const EnergyParams& params = EnergyParams{});
+
+}  // namespace spinn::energy

@@ -1,0 +1,87 @@
+#include "link/codes.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace spinn::link {
+
+int count_wires(Codeword w, int wires) {
+  return std::popcount(static_cast<unsigned>(w & ((1u << wires) - 1)));
+}
+
+namespace {
+
+/// Enumerate all n-wire masks with exactly k bits set, in ascending order.
+/// Deterministic, so encode tables are stable across builds.
+template <typename Fn>
+void for_each_codeword(int wires, int ones, Fn&& fn) {
+  for (unsigned w = 0; w < (1u << wires); ++w) {
+    if (std::popcount(w) == ones) fn(static_cast<Codeword>(w));
+  }
+}
+
+}  // namespace
+
+ThreeOfSixRtz::ThreeOfSixRtz() {
+  decode_table_.fill(-1);
+  int next = 0;
+  for_each_codeword(kWires, kOnesPerCodeword, [&](Codeword w) {
+    if (next < kSymbolValues) {
+      encode_table_[static_cast<std::size_t>(next)] = w;
+      decode_table_[w] = static_cast<std::int8_t>(next);
+      ++next;
+    }
+    // 20 codewords exist; the last 4 are unused by the data alphabet.
+  });
+  if (next != kSymbolValues) {
+    throw std::logic_error("3-of-6 alphabet under-populated");
+  }
+}
+
+Codeword ThreeOfSixRtz::encode(std::uint8_t value) const {
+  return encode_table_[value & 0xF];
+}
+
+std::optional<std::uint8_t> ThreeOfSixRtz::decode(Codeword w) const {
+  const std::int8_t v = decode_table_[w & 0x3F];
+  if (v < 0) return std::nullopt;
+  return static_cast<std::uint8_t>(v);
+}
+
+bool ThreeOfSixRtz::is_complete(Codeword w) {
+  return count_wires(w, kWires) == kOnesPerCodeword;
+}
+
+TwoOfSevenNrz::TwoOfSevenNrz() {
+  decode_table_.fill(-1);
+  int next = 0;
+  for_each_codeword(kWires, kOnesPerCodeword, [&](Codeword w) {
+    if (next < kSymbolValues) {
+      encode_table_[static_cast<std::size_t>(next)] = w;
+      decode_table_[w] = static_cast<std::int8_t>(next);
+      ++next;
+    } else if (eop_ == 0) {
+      // 21 codewords exist: 16 data + 1 end-of-packet; 4 unused.
+      eop_ = w;
+    }
+  });
+  if (next != kSymbolValues || eop_ == 0) {
+    throw std::logic_error("2-of-7 alphabet under-populated");
+  }
+}
+
+Codeword TwoOfSevenNrz::encode(std::uint8_t value) const {
+  return encode_table_[value & 0xF];
+}
+
+std::optional<std::uint8_t> TwoOfSevenNrz::decode(Codeword toggled) const {
+  const std::int8_t v = decode_table_[toggled & 0x7F];
+  if (v < 0) return std::nullopt;
+  return static_cast<std::uint8_t>(v);
+}
+
+bool TwoOfSevenNrz::is_complete(Codeword toggled) {
+  return count_wires(toggled, kWires) == kOnesPerCodeword;
+}
+
+}  // namespace spinn::link

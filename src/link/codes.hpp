@@ -1,0 +1,95 @@
+// Delay-insensitive data codes used by the SpiNNaker interconnect (§5.1).
+//
+// * On-chip (CHAIN fabric): 3-of-6 return-to-zero — a symbol is any 6-bit
+//   word with exactly three 1s; between symbols all wires return to zero.
+// * Inter-chip: 2-of-7 non-return-to-zero — a symbol is a *toggle* of exactly
+//   two of seven wires; wires do not return to zero, so each 4-bit symbol
+//   costs only 2 data-wire transitions (+1 ack), vs 6 (+2) for RTZ.
+//
+// Sixteen codewords carry the 4-bit data symbols; the 2-of-7 code reserves a
+// seventeenth codeword as end-of-packet, as on the real chip.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+namespace spinn::link {
+
+/// Number of data bits conveyed per codeword.
+inline constexpr int kBitsPerSymbol = 4;
+inline constexpr int kSymbolValues = 1 << kBitsPerSymbol;
+
+/// A codeword is a small wire-set bitmask (bit i == wire i active/toggled).
+using Codeword = std::uint8_t;
+
+/// 3-of-6 return-to-zero code (on-chip CHAIN links).
+class ThreeOfSixRtz {
+ public:
+  static constexpr int kWires = 6;
+  static constexpr int kOnesPerCodeword = 3;
+
+  ThreeOfSixRtz();
+
+  /// Codeword for a 4-bit value.
+  Codeword encode(std::uint8_t value) const;
+
+  /// Decoded value, or nullopt if `w` is not one of the 16 data codewords.
+  std::optional<std::uint8_t> decode(Codeword w) const;
+
+  /// True if `w` has exactly three bits set within the 6 wires.
+  static bool is_complete(Codeword w);
+
+  /// Wire transitions on the data wires per symbol: 3 rising + 3 falling
+  /// (return to zero).
+  static constexpr int data_transitions_per_symbol() { return 6; }
+  /// Ack transitions per symbol: ack up + ack down.
+  static constexpr int ack_transitions_per_symbol() { return 2; }
+  /// Complete out-and-return handshake loops per symbol (§5.1: RTZ needs
+  /// two — one for the symbol, one for the return-to-zero).
+  static constexpr int handshake_round_trips() { return 2; }
+
+ private:
+  std::array<Codeword, kSymbolValues> encode_table_{};
+  std::array<std::int8_t, 64> decode_table_{};
+};
+
+/// 2-of-7 non-return-to-zero code (inter-chip links).
+class TwoOfSevenNrz {
+ public:
+  static constexpr int kWires = 7;
+  static constexpr int kOnesPerCodeword = 2;
+
+  TwoOfSevenNrz();
+
+  /// Toggle-mask for a 4-bit value.
+  Codeword encode(std::uint8_t value) const;
+
+  /// The reserved end-of-packet codeword.
+  Codeword eop() const { return eop_; }
+
+  /// Decoded value, nullopt for EOP or invalid masks.  Use is_eop() first.
+  std::optional<std::uint8_t> decode(Codeword toggled) const;
+
+  bool is_eop(Codeword toggled) const { return toggled == eop_; }
+
+  /// True if exactly two of the seven wires are marked toggled.
+  static bool is_complete(Codeword toggled);
+
+  /// NRZ: 2 data-wire toggles per symbol.
+  static constexpr int data_transitions_per_symbol() { return 2; }
+  /// One ack toggle per symbol.
+  static constexpr int ack_transitions_per_symbol() { return 1; }
+  /// NRZ completes a single out-and-return loop per symbol.
+  static constexpr int handshake_round_trips() { return 1; }
+
+ private:
+  std::array<Codeword, kSymbolValues> encode_table_{};
+  std::array<std::int8_t, 128> decode_table_{};
+  Codeword eop_ = 0;
+};
+
+/// Population count restricted to the low `wires` bits.
+int count_wires(Codeword w, int wires);
+
+}  // namespace spinn::link

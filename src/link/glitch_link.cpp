@@ -1,0 +1,219 @@
+#include "link/glitch_link.hpp"
+
+#include <cmath>
+
+namespace spinn::link {
+
+namespace {
+constexpr int kAckWire = TwoOfSevenNrz::kWires;  // index 7
+}
+
+GlitchLink::GlitchLink(sim::Simulator& sim, const GlitchLinkConfig& config,
+                       std::uint64_t seed)
+    : sim_(sim),
+      cfg_(config),
+      rng_(seed),
+      tx_ack_converter_(config.kind),
+      rx_converter_{PhaseConverter(config.kind), PhaseConverter(config.kind),
+                    PhaseConverter(config.kind), PhaseConverter(config.kind),
+                    PhaseConverter(config.kind), PhaseConverter(config.kind),
+                    PhaseConverter(config.kind)} {}
+
+void GlitchLink::start(std::uint64_t n) {
+  stats_.requested += n;
+  tx_pending_ += n;
+  running_ = true;
+  last_progress_ = sim_.now();
+  if (cfg_.glitch_rate_hz > 0.0) {
+    for (int wire = 0; wire <= kAckWire; ++wire) schedule_glitch(wire);
+  }
+  sim_.after(cfg_.deadlock_timeout_ns, [this] { watchdog(); },
+             sim::EventPriority::Background);
+  tx_try_send();
+}
+
+void GlitchLink::note_progress() { last_progress_ = sim_.now(); }
+
+void GlitchLink::watchdog() {
+  if (!running_) return;
+  const bool work_pending = tx_pending_ > 0 || tx_sending_;
+  if (work_pending && sim_.now() - last_progress_ >= cfg_.deadlock_timeout_ns) {
+    stats_.deadlocked = true;
+    stats_.deadlock_time = last_progress_;
+    running_ = false;
+    return;
+  }
+  if (!work_pending) {
+    running_ = false;  // all delivered; stop watching (and stop glitches)
+    return;
+  }
+  sim_.after(cfg_.deadlock_timeout_ns, [this] { watchdog(); },
+             sim::EventPriority::Background);
+}
+
+void GlitchLink::schedule_glitch(int wire) {
+  const double interval_sec = rng_.exponential(cfg_.glitch_rate_hz);
+  const auto delay =
+      static_cast<TimeNs>(std::ceil(interval_sec * 1e9));
+  const std::uint32_t gen = glitch_gen_;
+  sim_.after(delay < 1 ? 1 : delay, [this, wire, gen] {
+    if (!running_ || gen != glitch_gen_) return;  // stale chain: stop
+    ++stats_.glitches;
+    if (wire == kAckWire) {
+      tx_on_ack(/*glitch=*/true);
+    } else {
+      rx_on_data(wire, /*glitch=*/true);
+    }
+    schedule_glitch(wire);
+  });
+}
+
+void GlitchLink::tx_try_send() {
+  if (!running_ || stats_.deadlocked) return;
+  if (!tx_has_token_ || tx_pending_ == 0) return;
+  tx_has_token_ = false;
+  tx_sending_ = true;
+  tx_last_value_ = static_cast<std::uint8_t>(rng_.uniform_int(kSymbolValues));
+  const Codeword cw = code_.encode(tx_last_value_);
+  // Both wire toggles launch together and arrive after the flight time.
+  for (int wire = 0; wire < TwoOfSevenNrz::kWires; ++wire) {
+    if (cw & (1u << wire)) {
+      sim_.after(cfg_.flight_ns, [this, wire] { rx_on_data(wire, false); },
+                 sim::EventPriority::Fabric);
+    }
+  }
+}
+
+void GlitchLink::rx_on_data(int wire, bool glitch) {
+  if (stats_.deadlocked) return;
+  PhaseConverter& conv = rx_converter_[wire];
+  const PhaseConverter::Outcome out =
+      glitch ? conv.on_glitch(rng_) : conv.on_transition();
+  switch (out) {
+    case PhaseConverter::Outcome::Event:
+      if (glitch) ++stats_.corrupted;  // a glitch edge entering the datapath
+      rx_marked_ |= static_cast<Codeword>(1u << wire);
+      if (count_wires(rx_marked_, TwoOfSevenNrz::kWires) >=
+          TwoOfSevenNrz::kOnesPerCodeword) {
+        rx_capture();
+      }
+      break;
+    case PhaseConverter::Outcome::Absorbed:
+      if (!glitch && cfg_.kind == PhaseConverter::Kind::TransitionSensing) {
+        // A genuine toggle swallowed by a gated-off converter: data lost,
+        // but the early capture that closed the gate already returned the
+        // token, so the handshake itself survives.
+        ++stats_.corrupted;
+      }
+      break;
+    case PhaseConverter::Outcome::Missed:
+      // A genuine transition vanished into a corrupted phase reference: the
+      // handshake token is lost.  A delay-insensitive link cannot recover
+      // from this at the protocol level — it is deadlocked until reset
+      // (§5.1).  Glitches arriving later only add corruption; they are not
+      // a resynchronisation mechanism.
+      declare_deadlock();
+      break;
+    case PhaseConverter::Outcome::RefCorrupt:
+      // Latent: the *next* genuine transition on this wire will be Missed.
+      break;
+  }
+}
+
+void GlitchLink::declare_deadlock() {
+  stats_.deadlocked = true;
+  stats_.deadlock_time = sim_.now();
+  running_ = false;
+}
+
+void GlitchLink::rx_capture() {
+  const Codeword captured = rx_marked_;
+  rx_marked_ = 0;
+  ++stats_.delivered;
+  note_progress();
+
+  const auto decoded = code_.decode(captured);
+  if (!decoded.has_value() || *decoded != tx_last_value_) ++stats_.corrupted;
+
+  if (cfg_.kind == PhaseConverter::Kind::TransitionSensing) {
+    // Close the enable gates until the ack handshake completes (Fig. 6).
+    for (auto& c : rx_converter_) c.disarm();
+    sim_.after(cfg_.logic_ns, [this] {
+      for (auto& c : rx_converter_) c.rearm();
+    });
+    // Enable-gate exposure: a glitch landing inside the gate's switching
+    // window while it closes can wedge a converter half-disabled, which
+    // stalls the link.  Exposure is metastable_window_sec across the 7 data
+    // converters, once per capture.
+    const double p = 1.0 - std::exp(-cfg_.glitch_rate_hz *
+                                    TwoOfSevenNrz::kWires *
+                                    cfg_.metastable_window_sec);
+    if (rng_.chance(p)) {
+      declare_deadlock();
+      return;
+    }
+  }
+
+  // Return the token: one ack toggle back to the transmitter.
+  sim_.after(cfg_.flight_ns + cfg_.logic_ns,
+             [this] { tx_on_ack(false); }, sim::EventPriority::Fabric);
+}
+
+void GlitchLink::tx_on_ack(bool glitch) {
+  if (stats_.deadlocked) return;
+  const PhaseConverter::Outcome out =
+      glitch ? tx_ack_converter_.on_glitch(rng_) : tx_ack_converter_.on_transition();
+  if (out == PhaseConverter::Outcome::Missed) {
+    declare_deadlock();  // a genuine ack disappeared: token lost
+    return;
+  }
+  if (out != PhaseConverter::Outcome::Event) return;  // absorbed
+
+  if (!tx_sending_) {
+    // A token when we already hold one (spurious ack, or the deliberate
+    // two-token situation after a both-ends reset).  The Fig. 6 circuit
+    // absorbs it; the conventional circuit has no such protection, but in
+    // this model a spurious token with nothing to send is also harmless —
+    // the damage from conventional converters comes from *missed* acks.
+    ++stats_.tokens_absorbed;
+    return;
+  }
+  tx_sending_ = false;
+  tx_has_token_ = true;
+  if (tx_pending_ > 0) --tx_pending_;
+  sim_.after(cfg_.logic_ns, [this] { tx_try_send(); },
+             sim::EventPriority::Fabric);
+}
+
+void GlitchLink::recover() {
+  // Reset both ends (§5.1): each end re-initialises its converters and
+  // injects a handshake token on leaving reset.
+  for (auto& c : rx_converter_) c.reset();
+  tx_ack_converter_.reset();
+  rx_marked_ = 0;
+  tx_sending_ = false;
+  stats_.deadlocked = false;
+  running_ = true;
+  ++glitch_gen_;  // retire any injector chain still in flight
+  note_progress();
+
+  // Receiver's gratuitous token arrives at the transmitter...
+  sim_.after(cfg_.flight_ns, [this] {
+    if (tx_has_token_) {
+      ++stats_.tokens_absorbed;  // ...and is absorbed if TX injected too.
+    } else {
+      tx_has_token_ = true;
+      tx_try_send();
+    }
+  });
+  // Transmitter's own injected token.
+  tx_has_token_ = true;
+  sim_.after(cfg_.logic_ns, [this] { tx_try_send(); });
+  sim_.after(cfg_.deadlock_timeout_ns, [this] { watchdog(); },
+             sim::EventPriority::Background);
+  if (cfg_.glitch_rate_hz > 0.0) {
+    for (int wire = 0; wire <= kAckWire; ++wire) schedule_glitch(wire);
+  }
+}
+
+}  // namespace spinn::link

@@ -1,0 +1,63 @@
+#include "link/link_timing.hpp"
+
+namespace spinn::link {
+
+ChannelParams off_chip_channel() {
+  return ChannelParams{
+      .flight_time_ns = 4,       // pad + board trace + pad, each way
+      .logic_latency_ns = 1,
+      .wire_capacitance_pf = 10.0,  // pad + PCB trace
+      .supply_volts = 1.8,          // LVCMOS pad ring
+      .logic_energy_pj = 2.0,
+  };
+}
+
+ChannelParams on_chip_channel() {
+  return ChannelParams{
+      .flight_time_ns = 0,       // sub-ns, folded into logic latency
+      .logic_latency_ns = 1,
+      .wire_capacitance_pf = 0.05,  // short on-chip wire
+      .supply_volts = 1.2,
+      .logic_energy_pj = 0.4,
+  };
+}
+
+SymbolCost symbol_cost(int round_trips, int data_transitions,
+                       int ack_transitions, double logic_energy_scale,
+                       const ChannelParams& ch) {
+  // Each handshake round trip is out-flight + logic + return-flight + logic.
+  const TimeNs loop = 2 * ch.flight_time_ns + 2 * ch.logic_latency_ns;
+  const TimeNs t = static_cast<TimeNs>(round_trips) * loop;
+
+  const double transition_energy =
+      ch.wire_capacitance_pf * ch.supply_volts * ch.supply_volts;  // pJ
+  const double wire_energy =
+      static_cast<double>(data_transitions + ack_transitions) *
+      transition_energy;
+  const double energy = wire_energy + logic_energy_scale * ch.logic_energy_pj;
+
+  const double throughput =
+      t > 0 ? (static_cast<double>(kBitsPerSymbol) /
+               (static_cast<double>(t) * 1e-9)) / 1e6
+            : 0.0;
+  return SymbolCost{t, energy, throughput};
+}
+
+SymbolCost rtz_cost(const ChannelParams& ch) {
+  // RTZ completion detection is self-resetting and cheap: unit logic energy.
+  return symbol_cost(ThreeOfSixRtz::handshake_round_trips(),
+                     ThreeOfSixRtz::data_transitions_per_symbol(),
+                     ThreeOfSixRtz::ack_transitions_per_symbol(),
+                     /*logic_energy_scale=*/1.0, ch);
+}
+
+SymbolCost nrz_cost(const ChannelParams& ch) {
+  // NRZ needs per-wire phase history + conversion back to RTZ internally
+  // (Fig. 6): about 2.5x the codec logic energy of the RTZ decoder.
+  return symbol_cost(TwoOfSevenNrz::handshake_round_trips(),
+                     TwoOfSevenNrz::data_transitions_per_symbol(),
+                     TwoOfSevenNrz::ack_transitions_per_symbol(),
+                     /*logic_energy_scale=*/2.5, ch);
+}
+
+}  // namespace spinn::link

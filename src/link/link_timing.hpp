@@ -1,0 +1,57 @@
+// Analytic timing/energy models for the two self-timed signalling schemes
+// (§5.1).  These capture the paper's argument quantitatively:
+//
+//   off-chip — flight time and pad capacitance dominate: the NRZ code's
+//   single round trip per symbol doubles throughput, and its 3 transitions
+//   (vs 8) more than halve energy per 4-bit symbol;
+//
+//   on-chip  — wires are cheap and fast: the RTZ code's simpler
+//   self-resetting logic wins on both latency and gate energy.
+#pragma once
+
+#include "common/units.hpp"
+#include "link/codes.hpp"
+
+namespace spinn::link {
+
+/// Electrical/timing parameters of one signalling environment.
+struct ChannelParams {
+  /// One-way wire flight time (driver + wire + receiver).
+  TimeNs flight_time_ns;
+  /// Additional logic latency contributed by the codec per traversal of the
+  /// handshake loop (encoder/completion-detector/phase-conversion).
+  TimeNs logic_latency_ns;
+  /// Effective switched capacitance per wire transition (pF).
+  double wire_capacitance_pf;
+  /// Supply voltage (V); transition energy = C * V^2.
+  double supply_volts;
+  /// Codec logic energy per symbol (pJ) — completion detection, phase
+  /// conversion, latching.
+  double logic_energy_pj;
+};
+
+/// Off-chip (chip-to-chip) channel: long board trace + pads.
+ChannelParams off_chip_channel();
+
+/// On-chip CHAIN channel: short wires, sub-ns stages.
+ChannelParams on_chip_channel();
+
+/// Per-symbol figures for a given code in a given channel.
+struct SymbolCost {
+  TimeNs time_per_symbol_ns;   // handshake-limited symbol period
+  double energy_per_symbol_pj; // wire + logic energy
+  double throughput_mbps;      // kBitsPerSymbol / time
+};
+
+/// Cost of moving one 4-bit symbol with code C through channel `ch`.
+/// `round_trips`, `data_transitions` and `ack_transitions` come from the
+/// code's static properties.
+SymbolCost symbol_cost(int round_trips, int data_transitions,
+                       int ack_transitions, double logic_energy_scale,
+                       const ChannelParams& ch);
+
+/// Convenience wrappers for the two codes of §5.1.
+SymbolCost rtz_cost(const ChannelParams& ch);
+SymbolCost nrz_cost(const ChannelParams& ch);
+
+}  // namespace spinn::link

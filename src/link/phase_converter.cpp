@@ -1,0 +1,50 @@
+#include "link/phase_converter.hpp"
+
+namespace spinn::link {
+
+PhaseConverter::Outcome PhaseConverter::on_transition() {
+  level_ = !level_;
+  if (kind_ == Kind::TransitionSensing) {
+    if (!armed_) return Outcome::Absorbed;
+    return Outcome::Event;
+  }
+  // Conventional: event iff wire level disagrees with the reference.  If a
+  // previous glitch silently flipped the reference, this genuine transition
+  // re-aligns them and disappears — the handshake token is lost.
+  if (level_ != reference_) {
+    reference_ = level_;
+    return Outcome::Event;
+  }
+  return Outcome::Missed;
+}
+
+PhaseConverter::Outcome PhaseConverter::on_glitch(Rng& rng) {
+  if (kind_ == Kind::TransitionSensing) {
+    // An armed edge detector cannot tell a glitch edge from a real one; a
+    // gated-off one ignores it entirely.
+    return armed_ ? Outcome::Event : Outcome::Absorbed;
+  }
+  // Conventional XOR recovery racing a runt pulse.  Empirical mixture:
+  //   40% — pulse too short for the latch: no effect;
+  //   30% — latch fires and the reference updates: one spurious event
+  //          (data-layer corruption, phase still consistent);
+  //   30% — slow feedback path updates the reference but the output latch
+  //          misses the pulse: reference now disagrees with the wire, so the
+  //          next genuine transition will be Missed.
+  const double u = rng.uniform();
+  if (u < 0.4) return Outcome::Absorbed;
+  if (u < 0.7) {
+    reference_ = !reference_;
+    level_ = !level_;  // latched as if a real edge happened
+    return Outcome::Event;
+  }
+  reference_ = !reference_;
+  return Outcome::RefCorrupt;
+}
+
+void PhaseConverter::reset() {
+  armed_ = true;
+  reference_ = level_;  // re-align phase with whatever the wire holds now
+}
+
+}  // namespace spinn::link

@@ -1,0 +1,65 @@
+// Models of the 2-phase -> 4-phase conversion circuit on the inter-chip link
+// receivers (§5.1, Fig. 6).
+//
+// Conventional implementation: XOR the wire level with a locally-held phase
+// reference.  A runt glitch pulse can update the reference without producing
+// an event (or vice versa); once reference and wire disagree about phase, the
+// next *genuine* transition becomes invisible and the handshake token is
+// lost — deadlock.
+//
+// Transition-sensing implementation (Fig. 6): a true edge detector with no
+// phase reference, gated so that once it has fired it "ignores further
+// transitions on its data input until it is re-enabled by the acknowledge
+// signal".  Glitches can still corrupt *data* (an edge is an edge) but
+// cannot desynchronise phase, so the link keeps passing (possibly wrong)
+// symbols instead of deadlocking.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace spinn::link {
+
+class PhaseConverter {
+ public:
+  enum class Kind {
+    ConventionalXor,
+    TransitionSensing,
+  };
+
+  /// What the converter output did in response to an input edge.
+  enum class Outcome {
+    Event,      // produced a 4-phase event downstream
+    Absorbed,   // input ignored (gated off, or glitch not latched)
+    Missed,     // genuine transition produced no event: token lost
+    RefCorrupt, // glitch silently flipped the phase reference (latent loss)
+  };
+
+  explicit PhaseConverter(Kind kind) : kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+  /// A genuine signalling transition arrives (wire level flips).
+  Outcome on_transition();
+
+  /// A runt glitch pulse arrives (wire level unchanged after the pulse).
+  /// Outcome probabilities for the conventional circuit follow the failure
+  /// modes discussed in §5.1; the transition-sensing circuit sees a clean
+  /// edge (Event, i.e. data corruption) when armed and absorbs it when not.
+  Outcome on_glitch(Rng& rng);
+
+  /// Gate control (transition-sensing only; no-ops for conventional).
+  void disarm() { armed_ = false; }
+  void rearm() { armed_ = true; }
+  bool armed() const { return armed_; }
+
+  /// Reset to power-on state (used by the deadlock-recovery path, §5.1).
+  void reset();
+
+ private:
+  Kind kind_;
+  bool armed_ = true;       // transition-sensing enable gate
+  bool level_ = false;      // current 2-phase wire level
+  bool reference_ = false;  // conventional phase reference
+};
+
+}  // namespace spinn::link

@@ -1,0 +1,65 @@
+// Runtime functional migration (paper abstract: "run-time support for
+// functional migration and real-time fault mitigation").
+//
+// When a core degrades or fails mid-run, its network slice — program,
+// neuron state, synaptic rows, AER identity — is moved to a spare core and
+// the machine's multicast routing tables are rewritten so every other slice
+// keeps addressing it by the same keys (virtualised topology, §3.2: the
+// logical network never learns that the physical mapping changed).
+//
+// The model is the monitor-driven procedure a real system would run:
+//   1. quiesce the victim core and take its program (in-flight events are
+//      lost, like packets in a real migration window);
+//   2. adopt the program on the spare core (state travels with it);
+//   3. regenerate the multicast tables for the updated placement and
+//      rewrite every router (charged as reconfiguration work).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "map/placement.hpp"
+#include "map/routing_gen.hpp"
+#include "mesh/machine.hpp"
+#include "neural/network.hpp"
+
+namespace spinn::map {
+
+struct MigrationReport {
+  bool ok = false;
+  std::string error;
+  CoreId from{};
+  CoreId to{};
+  std::size_t routers_rewritten = 0;
+  std::uint64_t entries_written = 0;
+  /// Estimated monitor-side reconfiguration time (table writes over the
+  /// fabric), for reporting; the fabric keeps running meanwhile.
+  TimeNs reconfiguration_estimate_ns = 0;
+};
+
+class Migrator {
+ public:
+  /// `placement` must be the live placement of `net` on `machine` (the
+  /// Loader's); it is updated in place on success.
+  Migrator(const neural::Network& net, PlacementResult& placement,
+           MapperConfig cfg)
+      : net_(net), placement_(placement), cfg_(cfg) {}
+
+  /// A spare application core for a migration near `close_to`: unprogrammed,
+  /// usable, not the monitor, not hosting a slice.  Same chip preferred,
+  /// then nearest chips.
+  std::optional<CoreId> find_spare(mesh::Machine& machine,
+                                   ChipCoord close_to) const;
+
+  /// Move whatever slice lives on `from` to `to` (or to find_spare() when
+  /// `to` is nullopt).
+  MigrationReport migrate(mesh::Machine& machine, CoreId from,
+                          std::optional<CoreId> to = std::nullopt);
+
+ private:
+  const neural::Network& net_;
+  PlacementResult& placement_;
+  MapperConfig cfg_;
+};
+
+}  // namespace spinn::map

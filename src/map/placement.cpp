@@ -1,0 +1,121 @@
+#include "map/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace spinn::map {
+
+std::vector<CoreIndex> app_cores(const chip::Chip& c) {
+  std::vector<CoreIndex> out;
+  const std::optional<CoreIndex> monitor = c.monitor_core();
+  // Without an elected monitor yet, reserve core 0 by convention.
+  const CoreIndex reserved = monitor.value_or(0);
+  for (CoreIndex i = 0; i < c.num_cores(); ++i) {
+    if (i == reserved) continue;
+    if (c.core(i).state() == chip::CoreState::Failed) continue;
+    out.push_back(i);
+  }
+  return out;
+}
+
+PlacementResult place(const neural::Network& net, mesh::Machine& machine,
+                      const MapperConfig& cfg) {
+  PlacementResult result;
+  result.by_population.resize(net.populations().size());
+
+  // Enumerate every usable application core in machine scan order.
+  struct FreeCore {
+    CoreId id;
+  };
+  std::vector<FreeCore> free_cores;
+  const mesh::Topology& topo = machine.topology();
+  for (std::size_t i = 0; i < machine.num_chips(); ++i) {
+    const ChipCoord cc = topo.coord_of(i);
+    if (machine.chip_failed(cc)) continue;
+    for (const CoreIndex core : app_cores(machine.chip_at(cc))) {
+      free_cores.push_back(FreeCore{CoreId{cc, core}});
+    }
+  }
+
+  std::size_t cursor = 0;   // next free core (linear packing)
+  std::size_t scatter_stride = 0;
+  if (cfg.scatter && !free_cores.empty()) {
+    // Visit cores with a stride co-prime to the count: spreads consecutive
+    // slices across distant chips.
+    scatter_stride = free_cores.size() / 2 + 1;
+    while (scatter_stride > 1 &&
+           std::gcd(scatter_stride, free_cores.size()) != 1) {
+      --scatter_stride;
+    }
+  }
+
+  std::size_t slice_counter = 0;
+  std::vector<bool> used(free_cores.size(), false);
+  std::size_t scatter_pos = 0;
+
+  auto next_core = [&]() -> std::optional<CoreId> {
+    if (cfg.scatter) {
+      for (std::size_t tries = 0; tries < free_cores.size(); ++tries) {
+        scatter_pos = (scatter_pos + scatter_stride) % free_cores.size();
+        if (!used[scatter_pos]) {
+          used[scatter_pos] = true;
+          return free_cores[scatter_pos].id;
+        }
+      }
+      return std::nullopt;
+    }
+    if (cursor >= free_cores.size()) return std::nullopt;
+    used[cursor] = true;
+    return free_cores[cursor++].id;
+  };
+
+  for (const neural::Population& pop : net.populations()) {
+    std::uint32_t placed = 0;
+    while (placed < pop.size) {
+      const std::uint32_t chunk =
+          std::min(cfg.neurons_per_core, pop.size - placed);
+      const std::optional<CoreId> core = next_core();
+      if (!core.has_value()) {
+        result.fits = false;
+        return result;
+      }
+      Slice s;
+      s.pop = pop.id;
+      s.first_neuron = placed;
+      s.num_neurons = chunk;
+      s.core = *core;
+      s.key_base =
+          static_cast<RoutingKey>(slice_counter << kNeuronKeyBits);
+      result.by_population[pop.id].push_back(result.slices.size());
+      result.slices.push_back(s);
+      placed += chunk;
+      ++slice_counter;
+    }
+  }
+
+  // Usage statistics.
+  std::vector<bool> chip_touched(machine.num_chips(), false);
+  for (const Slice& s : result.slices) {
+    ++result.cores_used;
+    chip_touched[topo.index(s.core.chip)] = true;
+  }
+  for (const bool t : chip_touched) {
+    if (t) ++result.chips_used;
+  }
+  return result;
+}
+
+std::optional<std::size_t> slice_of(const PlacementResult& placement,
+                                    neural::PopulationId pop,
+                                    std::uint32_t neuron) {
+  if (pop >= placement.by_population.size()) return std::nullopt;
+  for (const std::size_t si : placement.by_population[pop]) {
+    const Slice& s = placement.slices[si];
+    if (neuron >= s.first_neuron && neuron < s.first_neuron + s.num_neurons) {
+      return si;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace spinn::map

@@ -1,0 +1,67 @@
+// Placement: carving populations into core-sized slices and assigning them
+// to application cores (§5.3: "Neurons must be mapped to processors...").
+//
+// The virtualised-topology principle (§3.2) means *any* neuron can go on
+// *any* processor; the default strategy packs slices onto chips in linear
+// scan order, which keeps populations contiguous (proximal placement
+// minimises routing cost, §3.2, but is an optimisation, not a correctness
+// requirement — tests also exercise a scattering strategy).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mesh/machine.hpp"
+#include "neural/network.hpp"
+
+namespace spinn::map {
+
+struct MapperConfig {
+  /// Max neurons a single core simulates in real time (E11 explores the
+  /// actual feasible number; 256 is a comfortable default at 200 MHz).
+  std::uint32_t neurons_per_core = 256;
+  /// Omit routing entries where default routing (straight-through) suffices.
+  bool default_route_compression = true;
+  /// Run the key/mask merging pass after table generation.
+  bool minimize_tables = true;
+  /// Scatter slices round-robin over chips instead of packing linearly
+  /// (exercises the virtual-topology claim).
+  bool scatter = false;
+};
+
+/// Number of AER key bits reserved for the neuron index within a slice.
+inline constexpr int kNeuronKeyBits = 11;  // up to 2048 neurons per core
+inline constexpr RoutingKey kSliceKeyMask =
+    ~((RoutingKey{1} << kNeuronKeyBits) - 1);
+
+struct Slice {
+  neural::PopulationId pop = 0;
+  std::uint32_t first_neuron = 0;  // within the population
+  std::uint32_t num_neurons = 0;
+  CoreId core{};
+  RoutingKey key_base = 0;  // key of neuron `first_neuron`
+};
+
+struct PlacementResult {
+  std::vector<Slice> slices;
+  /// Slice indices per population.
+  std::vector<std::vector<std::size_t>> by_population;
+  std::size_t cores_used = 0;
+  std::size_t chips_used = 0;
+  bool fits = true;  // false when the machine ran out of cores
+};
+
+/// Cores on `c` available to applications (everything but the monitor).
+std::vector<CoreIndex> app_cores(const chip::Chip& c);
+
+PlacementResult place(const neural::Network& net, mesh::Machine& machine,
+                      const MapperConfig& cfg);
+
+/// The slice holding `neuron` of population `pop` (index into slices).
+std::optional<std::size_t> slice_of(const PlacementResult& placement,
+                                    neural::PopulationId pop,
+                                    std::uint32_t neuron);
+
+}  // namespace spinn::map

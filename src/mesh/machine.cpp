@@ -1,0 +1,94 @@
+#include "mesh/machine.hpp"
+
+#include "common/rng.hpp"
+
+namespace spinn::mesh {
+
+Machine::Machine(sim::Simulator& sim, const MachineConfig& config)
+    : sim_(sim), topo_(config.width, config.height) {
+  Rng seed_source(config.seed);
+  chips_.reserve(topo_.num_chips());
+  dead_.assign(topo_.num_chips(), false);
+  for (std::size_t i = 0; i < topo_.num_chips(); ++i) {
+    chips_.push_back(std::make_unique<chip::Chip>(
+        sim_, topo_.coord_of(i), config.chip, seed_source));
+  }
+  wire_links();
+
+  host_link_ = std::make_unique<HostLink>(sim_, config.host_link);
+  // Frames from the host surface at node (0,0)'s monitor handler; the chip
+  // owner (boot firmware, application loader) registers that handler.
+}
+
+void Machine::wire_links() {
+  for (std::size_t i = 0; i < chips_.size(); ++i) {
+    const ChipCoord c = topo_.coord_of(i);
+    chip::Chip& source = *chips_[i];
+    for (int l = 0; l < kLinksPerChip; ++l) {
+      const auto d = static_cast<LinkDir>(l);
+      const ChipCoord nc = topo_.neighbour(c, d);
+      chip::Chip& target = chip_at(nc);
+      // A packet leaving `c` on link d arrives at the neighbour's port
+      // opposite(d).
+      source.router().port(d).set_sink(
+          [this, &target, nc, d](const router::Packet& p) {
+            if (dead_[topo_.index(nc)]) return;  // dead chip swallows input
+            target.router().receive(p, opposite(d));
+          });
+    }
+  }
+}
+
+void Machine::fail_link(ChipCoord c, LinkDir d, bool bidirectional) {
+  chip_at(c).router().port(d).fail();
+  if (bidirectional) {
+    const ChipCoord nc = topo_.neighbour(c, d);
+    chip_at(nc).router().port(opposite(d)).fail();
+  }
+}
+
+void Machine::repair_link(ChipCoord c, LinkDir d, bool bidirectional) {
+  chip_at(c).router().port(d).repair();
+  if (bidirectional) {
+    const ChipCoord nc = topo_.neighbour(c, d);
+    chip_at(nc).router().port(opposite(d)).repair();
+  }
+}
+
+void Machine::fail_chip(ChipCoord c) {
+  dead_[topo_.index(c)] = true;
+  chip::Chip& victim = chip_at(c);
+  victim.stop_timers();
+  for (CoreIndex i = 0; i < victim.num_cores(); ++i) {
+    victim.core(i).mark_failed();
+  }
+  // Its own outputs stop driving the wires.
+  for (int l = 0; l < kLinksPerChip; ++l) {
+    victim.router().port(static_cast<LinkDir>(l)).fail();
+  }
+}
+
+Machine::FabricTotals Machine::fabric_totals() const {
+  FabricTotals t;
+  for (const auto& c : chips_) {
+    const router::Router::Counters& rc = c->router().counters();
+    t.received += rc.received;
+    t.forwarded += rc.forwarded;
+    t.delivered_local += rc.delivered_local;
+    t.default_routed += rc.default_routed;
+    t.emergency_first_leg += rc.emergency_first_leg;
+    t.emergency_second_leg += rc.emergency_second_leg;
+    t.dropped += rc.dropped;
+  }
+  return t;
+}
+
+void Machine::start_all_timers(TimeNs nominal_period) {
+  for (auto& c : chips_) c->start_timers(nominal_period);
+}
+
+void Machine::stop_all_timers() {
+  for (auto& c : chips_) c->stop_timers();
+}
+
+}  // namespace spinn::mesh

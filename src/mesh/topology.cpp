@@ -1,0 +1,80 @@
+#include "mesh/topology.hpp"
+
+#include <cstdlib>
+
+namespace spinn::mesh {
+
+ChipCoord Topology::neighbour(ChipCoord c, LinkDir d) const {
+  const auto [dx, dy] = link_offset(d);
+  const int x = (static_cast<int>(c.x) + dx + width_) % width_;
+  const int y = (static_cast<int>(c.y) + dy + height_) % height_;
+  return ChipCoord{static_cast<std::uint16_t>(x),
+                   static_cast<std::uint16_t>(y)};
+}
+
+namespace {
+/// Hop count of a delta pair using the six links: same-signed pairs ride
+/// the NE/SW diagonal.
+int hex_norm(int dx, int dy) {
+  if ((dx >= 0) == (dy >= 0)) {
+    return std::max(std::abs(dx), std::abs(dy));
+  }
+  return std::abs(dx) + std::abs(dy);
+}
+}  // namespace
+
+std::pair<int, int> Topology::deltas(ChipCoord a, ChipCoord b) const {
+  // Non-negative wrapped deltas in [0, dim); the other representative of
+  // each is (w - dim).
+  const int wx =
+      ((static_cast<int>(b.x) - static_cast<int>(a.x)) % width_ + width_) %
+      width_;
+  const int wy =
+      ((static_cast<int>(b.y) - static_cast<int>(a.y)) % height_ + height_) %
+      height_;
+  std::pair<int, int> best{wx, wy};
+  int best_norm = hex_norm(wx, wy);
+  for (const int dx : {wx, wx - width_}) {
+    for (const int dy : {wy, wy - height_}) {
+      const int n = hex_norm(dx, dy);
+      // Deterministic tie-break (larger dx, then larger dy) so every
+      // router computes identical routes.
+      if (n < best_norm ||
+          (n == best_norm &&
+           (dx > best.first ||
+            (dx == best.first && dy > best.second)))) {
+        best_norm = n;
+        best = {dx, dy};
+      }
+    }
+  }
+  return best;
+}
+
+int Topology::distance(ChipCoord a, ChipCoord b) const {
+  const auto [dx, dy] = deltas(a, b);
+  return hex_norm(dx, dy);
+}
+
+LinkDir Topology::next_hop(ChipCoord a, ChipCoord b) const {
+  const auto [dx, dy] = deltas(a, b);
+  if (dx > 0 && dy > 0) return LinkDir::NorthEast;
+  if (dx < 0 && dy < 0) return LinkDir::SouthWest;
+  if (dx > 0) return LinkDir::East;
+  if (dx < 0) return LinkDir::West;
+  if (dy > 0) return LinkDir::North;
+  return LinkDir::South;
+}
+
+std::vector<LinkDir> Topology::route(ChipCoord a, ChipCoord b) const {
+  std::vector<LinkDir> path;
+  ChipCoord cur = a;
+  while (cur != b) {
+    const LinkDir d = next_hop(cur, b);
+    path.push_back(d);
+    cur = neighbour(cur, d);
+  }
+  return path;
+}
+
+}  // namespace spinn::mesh

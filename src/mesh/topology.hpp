@@ -1,0 +1,87 @@
+// Geometry of the 2-D toroidal mesh with triangular facets (Figs. 1-2).
+//
+// Each chip has six links: E, NE, N, W, SW, S.  The NE/SW diagonals make
+// every square cell two triangles, which is what gives emergency routing its
+// two-hop detour around any single link (Fig. 8).  Both dimensions wrap
+// (toroidal), so the worst-case hop distance on a WxH machine is small and
+// every chip is topologically equivalent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace spinn::mesh {
+
+/// Signed offset of one hop in direction `d`.
+constexpr std::pair<int, int> link_offset(LinkDir d) {
+  switch (d) {
+    case LinkDir::East:
+      return {1, 0};
+    case LinkDir::NorthEast:
+      return {1, 1};
+    case LinkDir::North:
+      return {0, 1};
+    case LinkDir::West:
+      return {-1, 0};
+    case LinkDir::SouthWest:
+      return {-1, -1};
+    case LinkDir::South:
+      return {0, -1};
+  }
+  return {0, 0};
+}
+
+class Topology {
+ public:
+  Topology(std::uint16_t width, std::uint16_t height)
+      : width_(width), height_(height) {}
+
+  std::uint16_t width() const { return width_; }
+  std::uint16_t height() const { return height_; }
+  std::size_t num_chips() const {
+    return static_cast<std::size_t>(width_) * height_;
+  }
+
+  bool contains(ChipCoord c) const { return c.x < width_ && c.y < height_; }
+
+  /// Chip one hop away in direction `d` (with toroidal wrap).
+  ChipCoord neighbour(ChipCoord c, LinkDir d) const;
+
+  /// Signed deltas from `a` to `b` minimising the *hex-link* hop count.
+  /// Each axis can wrap either way; because the NE/SW diagonals only help
+  /// same-signed deltas, the best pair is not always the per-axis shortest
+  /// wrap (e.g. on a 4-torus, (+2,-1) is 3 hops but (-2,-1) is 2), so all
+  /// four wrap combinations are considered.  Deterministic tie-break keeps
+  /// every router's view consistent.
+  std::pair<int, int> deltas(ChipCoord a, ChipCoord b) const;
+
+  /// Minimal hop count from `a` to `b` using the six link directions:
+  /// max(|dx|,|dy|) when the deltas share a sign (diagonals help),
+  /// |dx|+|dy| otherwise — minimised over wrap choices.
+  int distance(ChipCoord a, ChipCoord b) const;
+
+  /// First hop of a shortest path from `a` towards `b` (longest-dimension-
+  /// first with diagonal preference — deterministic, so every router
+  /// computes the same paths).  `a != b`.
+  LinkDir next_hop(ChipCoord a, ChipCoord b) const;
+
+  /// Full shortest path (sequence of directions) from `a` to `b`.
+  std::vector<LinkDir> route(ChipCoord a, ChipCoord b) const;
+
+  /// Linear index (x * height + y) for dense per-chip arrays.
+  std::size_t index(ChipCoord c) const {
+    return static_cast<std::size_t>(c.x) * height_ + c.y;
+  }
+  ChipCoord coord_of(std::size_t index) const {
+    return ChipCoord{static_cast<std::uint16_t>(index / height_),
+                     static_cast<std::uint16_t>(index % height_)};
+  }
+
+ private:
+  std::uint16_t width_;
+  std::uint16_t height_;
+};
+
+}  // namespace spinn::mesh

@@ -1,0 +1,83 @@
+#include "neural/network.hpp"
+
+namespace spinn::neural {
+
+PopulationId Network::add_population(Population p) {
+  p.id = static_cast<PopulationId>(populations_.size());
+  populations_.push_back(std::move(p));
+  return populations_.back().id;
+}
+
+PopulationId Network::add_lif(const std::string& name, std::uint32_t size,
+                              const LifParams& params, bool record) {
+  Population p;
+  p.name = name;
+  p.size = size;
+  p.model = NeuronModel::Lif;
+  p.lif = params;
+  p.record = record;
+  return add_population(std::move(p));
+}
+
+PopulationId Network::add_izhikevich(const std::string& name,
+                                     std::uint32_t size,
+                                     const IzhParams& params, bool record) {
+  Population p;
+  p.name = name;
+  p.size = size;
+  p.model = NeuronModel::Izhikevich;
+  p.izh = params;
+  p.record = record;
+  return add_population(std::move(p));
+}
+
+PopulationId Network::add_poisson(const std::string& name, std::uint32_t size,
+                                  double rate_hz) {
+  Population p;
+  p.name = name;
+  p.size = size;
+  p.model = NeuronModel::PoissonSource;
+  p.poisson_rate_hz = rate_hz;
+  return add_population(std::move(p));
+}
+
+PopulationId Network::add_spike_source(
+    const std::string& name,
+    std::vector<std::vector<std::uint32_t>> schedule) {
+  Population p;
+  p.name = name;
+  p.size = static_cast<std::uint32_t>(schedule.size());
+  p.model = NeuronModel::SpikeSourceArray;
+  p.spike_schedule = std::move(schedule);
+  p.record = true;  // replayed trains are usually the experiment's stimulus
+  return add_population(std::move(p));
+}
+
+void Network::connect(PopulationId pre, PopulationId post,
+                      Connector connector, ValueDist weight,
+                      ValueDist delay_ms, bool inhibitory) {
+  Projection proj;
+  proj.pre = pre;
+  proj.post = post;
+  proj.connector = connector;
+  proj.weight = weight;
+  proj.delay_ms = delay_ms;
+  proj.inhibitory = inhibitory;
+  projections_.push_back(proj);
+}
+
+void Network::connect_plastic(PopulationId pre, PopulationId post,
+                              Connector connector, ValueDist weight,
+                              ValueDist delay_ms, const StdpParams& stdp) {
+  connect(pre, post, connector, weight, delay_ms, /*inhibitory=*/false);
+  projections_.back().stdp = stdp;
+  projections_.back().stdp.enabled = true;
+}
+
+std::uint64_t Network::total_neurons() const {
+  std::uint64_t total = 0;
+  for (const auto& p : populations_) total += p.size;
+  return total;
+}
+
+}  // namespace spinn::neural

@@ -1,0 +1,119 @@
+// Network description: populations of neurons and projections between them.
+// This is the model a neuroscientist writes (PyNN-style); the map module
+// places it onto chips/cores, generates multicast routing tables and builds
+// the SDRAM synaptic rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "neural/neuron_models.hpp"
+#include "neural/stdp.hpp"
+
+namespace spinn::neural {
+
+using PopulationId = std::uint32_t;
+
+struct Population {
+  PopulationId id = 0;
+  std::string name;
+  std::uint32_t size = 0;
+  NeuronModel model = NeuronModel::Lif;
+  LifParams lif;
+  IzhParams izh;
+  /// PoissonSource rate (Hz per neuron).
+  double poisson_rate_hz = 0.0;
+  /// SpikeSourceArray schedule: spike times (ms tick) per neuron.
+  std::vector<std::vector<std::uint32_t>> spike_schedule;
+  bool record = false;
+};
+
+enum class ConnectorKind : std::uint8_t {
+  AllToAll,
+  OneToOne,
+  FixedProbability,
+};
+
+struct Connector {
+  ConnectorKind kind = ConnectorKind::AllToAll;
+  double probability = 1.0;  // FixedProbability only
+  bool allow_self = false;   // self-connections when pre == post
+
+  static Connector all_to_all() { return Connector{}; }
+  static Connector one_to_one() {
+    return Connector{ConnectorKind::OneToOne, 1.0, true};
+  }
+  static Connector fixed_probability(double p) {
+    return Connector{ConnectorKind::FixedProbability, p, false};
+  }
+};
+
+/// Weight/delay specification: fixed value or uniform range.
+struct ValueDist {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  static ValueDist fixed(double v) { return ValueDist{v, v}; }
+  static ValueDist uniform(double lo, double hi) { return ValueDist{lo, hi}; }
+
+  double sample(Rng& rng) const {
+    return lo >= hi ? lo : rng.uniform(lo, hi);
+  }
+};
+
+struct Projection {
+  PopulationId pre = 0;
+  PopulationId post = 0;
+  Connector connector;
+  ValueDist weight = ValueDist::fixed(1.0);
+  ValueDist delay_ms = ValueDist::fixed(1.0);
+  bool inhibitory = false;
+  /// STDP configuration; stdp.enabled makes the projection's synapses
+  /// plastic (rows are written back to SDRAM after modification, §5.3).
+  StdpParams stdp;
+};
+
+class Network {
+ public:
+  PopulationId add_population(Population p);
+
+  /// Convenience builders.
+  PopulationId add_lif(const std::string& name, std::uint32_t size,
+                       const LifParams& params = LifParams{},
+                       bool record = true);
+  PopulationId add_izhikevich(const std::string& name, std::uint32_t size,
+                              const IzhParams& params = IzhParams{},
+                              bool record = true);
+  PopulationId add_poisson(const std::string& name, std::uint32_t size,
+                           double rate_hz);
+  PopulationId add_spike_source(
+      const std::string& name,
+      std::vector<std::vector<std::uint32_t>> schedule);
+
+  void connect(PopulationId pre, PopulationId post, Connector connector,
+               ValueDist weight, ValueDist delay_ms, bool inhibitory = false);
+
+  /// An excitatory projection whose weights learn by pair-based STDP.
+  void connect_plastic(PopulationId pre, PopulationId post,
+                       Connector connector, ValueDist weight,
+                       ValueDist delay_ms, const StdpParams& stdp);
+
+  const std::vector<Population>& populations() const { return populations_; }
+  const std::vector<Projection>& projections() const { return projections_; }
+  const Population& population(PopulationId id) const {
+    return populations_[id];
+  }
+  /// Mutable access for post-construction tweaks (e.g. turning recording on
+  /// for a source population).
+  Population& population(PopulationId id) { return populations_[id]; }
+
+  std::uint64_t total_neurons() const;
+
+ private:
+  std::vector<Population> populations_;
+  std::vector<Projection> projections_;
+};
+
+}  // namespace spinn::neural

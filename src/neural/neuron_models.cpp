@@ -1,0 +1,60 @@
+#include "neural/neuron_models.hpp"
+
+namespace spinn::neural {
+
+LifSlice::LifSlice(std::uint32_t n, const LifParams& params)
+    : p_(params), v_(n, params.v_rest), refractory_(n, 0) {}
+
+void LifSlice::update(const std::vector<Accum>& input,
+                      std::vector<std::uint32_t>& spikes) {
+  for (std::uint32_t i = 0; i < size(); ++i) {
+    if (refractory_[i] > 0) {
+      --refractory_[i];
+      continue;
+    }
+    // v <- v_rest + (v - v_rest) * decay + I * r_scale
+    const Accum dv = (v_[i] - p_.v_rest) * p_.decay;
+    Accum v = p_.v_rest + dv;
+    if (i < input.size()) {
+      v = Accum::saturating_add(v, input[i] * p_.r_scale);
+    }
+    if (v >= p_.v_thresh) {
+      spikes.push_back(i);
+      v = p_.v_reset;
+      refractory_[i] = p_.refractory_ticks;
+    }
+    v_[i] = v;
+  }
+}
+
+IzhSlice::IzhSlice(std::uint32_t n, const IzhParams& params)
+    : p_(params), v_(n, params.c), u_(n, params.b * params.c) {}
+
+void IzhSlice::update(const std::vector<Accum>& input,
+                      std::vector<std::uint32_t>& spikes) {
+  const Accum k004 = Accum::from_double(0.04);
+  const Accum k5 = Accum::from_int(5);
+  const Accum k140 = Accum::from_int(140);
+  const Accum thresh = Accum::from_int(30);
+  for (std::uint32_t i = 0; i < size(); ++i) {
+    Accum v = v_[i];
+    Accum u = u_[i];
+    const Accum in = i < input.size() ? input[i] : Accum{};
+    // Two half-steps for v (matches the real implementation's stability
+    // treatment), one full step for u.
+    for (int half = 0; half < 2; ++half) {
+      const Accum dv = k004 * v * v + k5 * v + k140 - u + in;
+      v = Accum::saturating_add(v, dv * Accum::from_double(0.5));
+    }
+    u += p_.a * (p_.b * v - u);
+    if (v >= thresh) {
+      spikes.push_back(i);
+      v = p_.c;
+      u += p_.d;
+    }
+    v_[i] = v;
+    u_[i] = u;
+  }
+}
+
+}  // namespace spinn::neural

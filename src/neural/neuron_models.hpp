@@ -1,0 +1,91 @@
+// Point-neuron models in S16.15 fixed point, as computed by the 1 ms timer
+// handler on each core (§3.1, §5.3).  Instruction costs per update mirror
+// the hand-optimised ARM968 inner loops of the real software stack and feed
+// the real-time capacity experiment (E11).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+
+namespace spinn::neural {
+
+enum class NeuronModel : std::uint8_t {
+  Lif,          // leaky integrate-and-fire
+  Izhikevich,   // Izhikevich 2003 two-variable model
+  PoissonSource,  // stochastic spike source (stimulus)
+  SpikeSourceArray,  // replays a fixed spike train (e.g. retina output)
+};
+
+/// Leaky integrate-and-fire parameters.  `decay` is the per-millisecond
+/// exponential factor exp(-dt/tau), precomputed as on the real platform.
+struct LifParams {
+  Accum v_rest = Accum::from_double(-65.0);
+  Accum v_reset = Accum::from_double(-70.0);
+  Accum v_thresh = Accum::from_double(-50.0);
+  Accum decay = Accum::from_double(0.9048);  // tau = 10 ms, dt = 1 ms
+  /// Input scaling (effective membrane resistance x dt / tau).
+  Accum r_scale = Accum::from_double(1.0);
+  std::uint8_t refractory_ticks = 2;
+};
+
+/// Izhikevich model parameters (regular-spiking defaults).
+struct IzhParams {
+  Accum a = Accum::from_double(0.02);
+  Accum b = Accum::from_double(0.2);
+  Accum c = Accum::from_double(-65.0);
+  Accum d = Accum::from_double(8.0);
+};
+
+/// Per-update instruction budgets (ARM968 inner loops).
+inline constexpr std::uint64_t kLifUpdateInstr = 48;
+inline constexpr std::uint64_t kIzhUpdateInstr = 68;
+inline constexpr std::uint64_t kSpikeEmitInstr = 30;
+inline constexpr std::uint64_t kPoissonDrawInstr = 38;
+
+/// Dense state for a slice of LIF neurons (one core's worth).
+class LifSlice {
+ public:
+  LifSlice(std::uint32_t n, const LifParams& params);
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(v_.size());
+  }
+
+  /// Advance every neuron one tick given per-neuron input current; appends
+  /// the indices of neurons that fired to `spikes`.
+  void update(const std::vector<Accum>& input,
+              std::vector<std::uint32_t>& spikes);
+
+  Accum membrane(std::uint32_t i) const { return v_[i]; }
+  void set_membrane(std::uint32_t i, Accum v) { v_[i] = v; }
+
+ private:
+  LifParams p_;
+  std::vector<Accum> v_;
+  std::vector<std::uint8_t> refractory_;
+};
+
+/// Dense state for a slice of Izhikevich neurons.
+class IzhSlice {
+ public:
+  IzhSlice(std::uint32_t n, const IzhParams& params);
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(v_.size());
+  }
+
+  void update(const std::vector<Accum>& input,
+              std::vector<std::uint32_t>& spikes);
+
+  Accum membrane(std::uint32_t i) const { return v_[i]; }
+  Accum recovery(std::uint32_t i) const { return u_[i]; }
+
+ private:
+  IzhParams p_;
+  std::vector<Accum> v_;
+  std::vector<Accum> u_;
+};
+
+}  // namespace spinn::neural

@@ -1,0 +1,226 @@
+#include "neural/retina.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace spinn::neural {
+
+Image make_gaussian_blob(int size, double cx, double cy, double sigma) {
+  Image img{size, size, std::vector<double>(
+                            static_cast<std::size_t>(size) * size, 0.0)};
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      const double dx = x - cx;
+      const double dy = y - cy;
+      img.at(x, y) = std::exp(-(dx * dx + dy * dy) / (2.0 * sigma * sigma));
+    }
+  }
+  return img;
+}
+
+Image make_bars(int size, int period) {
+  Image img{size, size, std::vector<double>(
+                            static_cast<std::size_t>(size) * size, 0.0)};
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      img.at(x, y) = ((x / period) % 2 == 0) ? 1.0 : 0.0;
+    }
+  }
+  return img;
+}
+
+Image make_checkerboard(int size, int cell) {
+  Image img{size, size, std::vector<double>(
+                            static_cast<std::size_t>(size) * size, 0.0)};
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      img.at(x, y) = (((x / cell) + (y / cell)) % 2 == 0) ? 1.0 : 0.0;
+    }
+  }
+  return img;
+}
+
+Retina::Retina(int image_size, const RetinaConfig& config)
+    : image_size_(image_size), cfg_(config) {
+  // Tile each scale's ganglion sheet over the image, ON and OFF centre
+  // interleaved at every site (as in the primate retina's parallel on/off
+  // pathways).
+  for (const double sigma : cfg_.scales) {
+    const double step = cfg_.spacing * sigma;
+    for (double y = step / 2; y < image_size_; y += step) {
+      for (double x = step / 2; x < image_size_; x += step) {
+        ganglia_.push_back(Ganglion{x, y, sigma, /*off_centre=*/false});
+        ganglia_.push_back(Ganglion{x, y, sigma, /*off_centre=*/true});
+      }
+    }
+  }
+}
+
+void Retina::kill_fraction(double fraction, Rng& rng) {
+  for (auto& g : ganglia_) {
+    if (!g.dead && rng.chance(fraction)) g.dead = true;
+  }
+}
+
+void Retina::revive_all() {
+  for (auto& g : ganglia_) g.dead = false;
+}
+
+double Retina::response(const Ganglion& g, const Image& image) const {
+  const double sc = g.sigma;
+  const double ss = g.sigma * cfg_.surround_ratio;
+  const int radius = static_cast<int>(std::ceil(3.0 * ss));
+  const int x0 = std::max(0, static_cast<int>(g.x) - radius);
+  const int x1 = std::min(image_size_ - 1, static_cast<int>(g.x) + radius);
+  const int y0 = std::max(0, static_cast<int>(g.y) - radius);
+  const int y1 = std::min(image_size_ - 1, static_cast<int>(g.y) + radius);
+
+  double centre = 0.0, centre_norm = 0.0;
+  double surround = 0.0, surround_norm = 0.0;
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const double dx = x - g.x;
+      const double dy = y - g.y;
+      const double r2 = dx * dx + dy * dy;
+      const double wc = std::exp(-r2 / (2.0 * sc * sc));
+      const double ws = std::exp(-r2 / (2.0 * ss * ss));
+      centre += wc * image.at(x, y);
+      centre_norm += wc;
+      surround += ws * image.at(x, y);
+      surround_norm += ws;
+    }
+  }
+  if (centre_norm <= 0.0 || surround_norm <= 0.0) return 0.0;
+  const double dog = centre / centre_norm - surround / surround_norm;
+  return g.off_centre ? -dog : dog;
+}
+
+std::vector<RetinaSpike> Retina::encode(const Image& image) const {
+  // Raw responses.
+  struct Candidate {
+    std::uint32_t idx;
+    double response;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(ganglia_.size());
+  for (std::uint32_t i = 0; i < ganglia_.size(); ++i) {
+    const Ganglion& g = ganglia_[i];
+    if (g.dead) continue;  // a dead neuron neither fires nor inhibits (§5.4)
+    const double r = response(g, image);
+    if (r > cfg_.threshold) candidates.push_back(Candidate{i, r});
+  }
+  // Strongest response fires first (latency ~ 1/response).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.response != b.response) return a.response > b.response;
+              return a.idx < b.idx;
+            });
+
+  // Fire in order, applying lateral inhibition to not-yet-fired overlapping
+  // same-polarity neighbours.
+  std::vector<double> attenuation(ganglia_.size(), 1.0);
+  std::vector<RetinaSpike> volley;
+  std::vector<bool> fired(ganglia_.size(), false);
+  for (const Candidate& c : candidates) {
+    const Ganglion& g = ganglia_[c.idx];
+    const double effective = c.response * attenuation[c.idx];
+    if (effective <= cfg_.threshold) continue;
+    volley.push_back(RetinaSpike{c.idx, 1.0 / effective, effective});
+    fired[c.idx] = true;
+    // Inhibit overlapping unfired neighbours of the same polarity.
+    const double radius = cfg_.inhibition_radius * g.sigma;
+    for (const Candidate& other : candidates) {
+      if (other.idx == c.idx || fired[other.idx]) continue;
+      const Ganglion& og = ganglia_[other.idx];
+      if (og.off_centre != g.off_centre) continue;
+      const double dx = og.x - g.x;
+      const double dy = og.y - g.y;
+      if (dx * dx + dy * dy <= radius * radius) {
+        attenuation[other.idx] *= (1.0 - cfg_.inhibition);
+      }
+    }
+  }
+  std::sort(volley.begin(), volley.end(),
+            [](const RetinaSpike& a, const RetinaSpike& b) {
+              if (a.latency_ms != b.latency_ms)
+                return a.latency_ms < b.latency_ms;
+              return a.ganglion < b.ganglion;
+            });
+  return volley;
+}
+
+Image Retina::decode(const std::vector<RetinaSpike>& volley, int max_spikes,
+                     double rank_decay) const {
+  Image out{image_size_, image_size_,
+            std::vector<double>(
+                static_cast<std::size_t>(image_size_) * image_size_, 0.0)};
+  double rank_weight = 1.0;
+  int used = 0;
+  for (const RetinaSpike& s : volley) {
+    if (used >= max_spikes) break;
+    const Ganglion& g = ganglia_[s.ganglion];
+    const double sign = g.off_centre ? -1.0 : 1.0;
+    const int radius = static_cast<int>(std::ceil(3.0 * g.sigma));
+    const int x0 = std::max(0, static_cast<int>(g.x) - radius);
+    const int x1 = std::min(image_size_ - 1, static_cast<int>(g.x) + radius);
+    const int y0 = std::max(0, static_cast<int>(g.y) - radius);
+    const int y1 = std::min(image_size_ - 1, static_cast<int>(g.y) + radius);
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        const double dx = x - g.x;
+        const double dy = y - g.y;
+        const double w =
+            std::exp(-(dx * dx + dy * dy) / (2.0 * g.sigma * g.sigma));
+        out.at(x, y) += sign * rank_weight * s.response * w;
+      }
+    }
+    rank_weight *= rank_decay;
+    ++used;
+  }
+  return out;
+}
+
+double image_correlation(const Image& a, const Image& b) {
+  const std::size_t n = a.pixels.size();
+  if (n == 0 || n != b.pixels.size()) return 0.0;
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += a.pixels[i];
+    mb += b.pixels[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = a.pixels[i] - ma;
+    const double db = b.pixels[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+double rank_order_similarity(const std::vector<RetinaSpike>& a,
+                             const std::vector<RetinaSpike>& b, int depth) {
+  // Map ganglion -> rank in each volley (up to `depth`).
+  std::unordered_map<std::uint32_t, int> rank_a;
+  const int da = std::min<int>(depth, static_cast<int>(a.size()));
+  const int db = std::min<int>(depth, static_cast<int>(b.size()));
+  for (int i = 0; i < da; ++i) rank_a[a[i].ganglion] = i;
+  if (da == 0 || db == 0) return 0.0;
+  // Geometric agreement: matched items contribute decay^|rank difference|;
+  // unmatched items contribute 0.
+  double score = 0.0;
+  constexpr double kDecay = 0.95;
+  for (int i = 0; i < db; ++i) {
+    const auto it = rank_a.find(b[i].ganglion);
+    if (it == rank_a.end()) continue;
+    score += std::pow(kDecay, std::abs(it->second - i));
+  }
+  return score / static_cast<double>(std::max(da, db));
+}
+
+}  // namespace spinn::neural

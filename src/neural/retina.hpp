@@ -1,0 +1,114 @@
+// Retina model and rank-order coding (§5.4).
+//
+// "the spiking ganglion cells have characteristic centre-on surround-off
+// ('Mexican hat') or centre-off surround-on receptive fields ... The filters
+// cover the retina at different overlapping scales, and lateral inhibition
+// reduces the information redundancy"; information is carried by the *order*
+// in which the ganglion population fires (rank-order codes [20]).
+//
+// The model:
+//  * a ganglion sheet of ON- and OFF-centre difference-of-Gaussians (DoG)
+//    filters at multiple scales over an input image;
+//  * responses convert to spike latencies (stronger drive -> earlier spike);
+//  * lateral inhibition: when a ganglion fires, overlapping same-type
+//    neighbours are attenuated (redundancy reduction);
+//  * a rank-order decoder reconstructs the image from the first N spikes
+//    with geometrically-decaying rank weights;
+//  * neuron-loss fault injection for the §5.4 graceful-degradation claim:
+//    a dead ganglion stops firing *and stops inhibiting*, so overlapping
+//    neighbours take over.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace spinn::neural {
+
+/// A grey-scale image, row-major, values in [0, 1].
+struct Image {
+  int width = 0;
+  int height = 0;
+  std::vector<double> pixels;
+
+  double at(int x, int y) const { return pixels[y * width + x]; }
+  double& at(int x, int y) { return pixels[y * width + x]; }
+};
+
+/// Test images for the benches/examples.
+Image make_gaussian_blob(int size, double cx, double cy, double sigma);
+Image make_bars(int size, int period);
+Image make_checkerboard(int size, int cell);
+
+struct RetinaConfig {
+  /// DoG centre sigmas, one ganglion sheet per scale (overlapping scales).
+  std::vector<double> scales{1.0, 2.0};
+  /// Surround sigma = centre sigma x this ratio.
+  double surround_ratio = 1.6;
+  /// Ganglion spacing in pixels per unit of scale sigma.
+  double spacing = 2.0;
+  /// Lateral inhibition strength (response attenuation per earlier
+  /// overlapping firer) and radius in units of the ganglion's sigma.
+  double inhibition = 0.35;
+  double inhibition_radius = 2.0;
+  /// Response threshold below which a ganglion never fires.
+  double threshold = 0.01;
+};
+
+struct Ganglion {
+  double x = 0.0;
+  double y = 0.0;
+  double sigma = 1.0;
+  bool off_centre = false;
+  bool dead = false;
+};
+
+/// One emitted spike: which ganglion, at what latency (ms), with the
+/// response that produced it.
+struct RetinaSpike {
+  std::uint32_t ganglion = 0;
+  double latency_ms = 0.0;
+  double response = 0.0;
+};
+
+class Retina {
+ public:
+  Retina(int image_size, const RetinaConfig& config);
+
+  std::size_t num_ganglia() const { return ganglia_.size(); }
+  const std::vector<Ganglion>& ganglia() const { return ganglia_; }
+
+  /// Kill a fraction of ganglia at random (§5.4 fault injection).
+  void kill_fraction(double fraction, Rng& rng);
+  void revive_all();
+
+  /// Encode an image as a rank-ordered spike volley (sorted by latency).
+  /// Lateral inhibition is applied in firing order.
+  std::vector<RetinaSpike> encode(const Image& image) const;
+
+  /// Decode a rank-order volley back into an image estimate using the first
+  /// `max_spikes` spikes and geometric rank weighting `rank_decay^rank`.
+  Image decode(const std::vector<RetinaSpike>& volley, int max_spikes,
+               double rank_decay = 0.98) const;
+
+  /// Raw DoG response of one ganglion to the image.
+  double response(const Ganglion& g, const Image& image) const;
+
+ private:
+  int image_size_;
+  RetinaConfig cfg_;
+  std::vector<Ganglion> ganglia_;
+};
+
+/// Pearson correlation between two images (reconstruction quality metric).
+double image_correlation(const Image& a, const Image& b);
+
+/// Similarity of two rank-order codes: mean geometric agreement of the rank
+/// positions of common items over the first `depth` spikes (1 = identical
+/// order).
+double rank_order_similarity(const std::vector<RetinaSpike>& a,
+                             const std::vector<RetinaSpike>& b, int depth);
+
+}  // namespace spinn::neural

@@ -1,0 +1,42 @@
+// Spike recording: an append-only log of (time, AER key) pairs, shared by
+// all recording cores.  The host-side analogue is the spike data streamed
+// back over Ethernet after a run.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace spinn::neural {
+
+class SpikeRecorder {
+ public:
+  struct Event {
+    TimeNs time = 0;
+    RoutingKey key = 0;
+  };
+
+  void record(TimeNs time, RoutingKey key) {
+    events_.push_back(Event{time, key});
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t count() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Events whose key falls in [base, base + span).
+  std::size_t count_in_key_range(RoutingKey base, std::uint32_t span) const {
+    return static_cast<std::size_t>(
+        std::count_if(events_.begin(), events_.end(), [&](const Event& e) {
+          return e.key >= base && e.key < base + span;
+        }));
+  }
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace spinn::neural

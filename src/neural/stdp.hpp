@@ -1,0 +1,33 @@
+// Spike-timing-dependent plasticity, deferred-event style.
+//
+// §5.3: "This processing may generate output neural spike events and, if
+// the connectivity data is modified, a DMA must be scheduled to write the
+// changes back into SDRAM."  Plastic synapses are exactly that case: weight
+// updates are computed when a synaptic row is in DTCM (i.e. at pre-spike
+// row fetches, using the target neurons' recorded last-spike times), and
+// the modified row is DMA-written back.
+//
+// The rule is standard additive pair-based STDP, evaluated at pre-synaptic
+// events as on the real platform (post-spike history is kept locally by the
+// target core; there is no global clock to timestamp against, only the
+// core's own tick counter — bounded asynchrony again):
+//   * the previous pre-spike followed by a post-spike within `window_ticks`
+//     => potentiate by a_plus;
+//   * a post-spike followed by this pre-spike within `window_ticks`
+//     => depress by a_minus;
+//   * weights clamp to [0, w_max].
+#pragma once
+
+#include <cstdint>
+
+namespace spinn::neural {
+
+struct StdpParams {
+  bool enabled = false;
+  double a_plus = 0.10;   // potentiation step (weight units)
+  double a_minus = 0.12;  // depression step
+  std::uint32_t window_ticks = 20;
+  double w_max = 10.0;
+};
+
+}  // namespace spinn::neural

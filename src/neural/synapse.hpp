@@ -1,0 +1,90 @@
+// Synaptic connectivity data, organised as on the real machine: one
+// *synaptic row* per (pre-synaptic neuron, target core), held in the node's
+// SDRAM and DMA-fetched into DTCM when that neuron's spike packet arrives
+// (§4, Fig. 4; §5.3).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "common/types.hpp"
+
+namespace spinn::neural {
+
+/// One synapse as packed in a row word on the real platform:
+/// weight (16 bits, fixed point), delay (4 bits, 1..15 ms), type (exc/inh),
+/// target neuron index within the core's slice.
+struct Synapse {
+  std::uint16_t weight_raw = 0;  // unsigned magnitude, U8.8-ish scaling
+  std::uint8_t delay = 1;        // in ms ticks; re-inserted at target (§3.2)
+  bool inhibitory = false;
+  bool plastic = false;          // weight is modified by STDP (§5.3)
+  std::uint16_t target = 0;      // local neuron index on the target core
+
+  Accum weight() const {
+    // U8.8 -> S16.15.
+    const auto raw =
+        static_cast<std::int32_t>(weight_raw) << (Accum::kFractionBits - 8);
+    return Accum::from_raw(inhibitory ? -raw : raw);
+  }
+
+  static std::uint16_t pack_weight(double w) {
+    double mag = w < 0 ? -w : w;
+    if (mag > 255.0) mag = 255.0;
+    return static_cast<std::uint16_t>(mag * 256.0 + 0.5);
+  }
+};
+
+/// The maximum synaptic delay the 4-bit field (and the 16-slot input ring)
+/// supports.
+inline constexpr std::uint8_t kMaxDelayTicks = 15;
+
+struct SynapticRow {
+  std::vector<Synapse> synapses;
+  /// Any synapse in the row is plastic => the row is written back after
+  /// processing (§5.3).
+  bool plastic = false;
+  /// The tick of the previous pre-synaptic spike that fetched this row
+  /// (pre-event history for the deferred STDP rule).
+  std::uint32_t last_pre_tick = 0;
+  bool has_fired_before = false;
+
+  /// DMA size: one header word plus one 32-bit word per synapse.
+  std::uint32_t bytes() const {
+    return 4 + 4 * static_cast<std::uint32_t>(synapses.size());
+  }
+};
+
+/// All rows resident on one core, keyed by the source neuron's AER key.
+/// (Physically these live in the node's shared SDRAM; the map keeps the
+/// functional content while chip::Sdram accounts the space.)
+class RowStore {
+ public:
+  SynapticRow& row_for(RoutingKey key) { return rows_[key]; }
+
+  const SynapticRow* find(RoutingKey key) const {
+    const auto it = rows_.find(key);
+    return it == rows_.end() ? nullptr : &it->second;
+  }
+
+  /// Mutable lookup for plasticity processing (the row is "in DTCM").
+  SynapticRow* find_mutable(RoutingKey key) {
+    const auto it = rows_.find(key);
+    return it == rows_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  std::uint64_t total_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& [k, row] : rows_) total += row.bytes();
+    return total;
+  }
+
+ private:
+  std::unordered_map<RoutingKey, SynapticRow> rows_;
+};
+
+}  // namespace spinn::neural

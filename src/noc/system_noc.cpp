@@ -1,0 +1,38 @@
+#include "noc/system_noc.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace spinn::noc {
+
+SystemNoc::SystemNoc(sim::Simulator& sim, const SystemNocConfig& config)
+    : sim_(sim), cfg_(config) {}
+
+void SystemNoc::transfer(std::uint32_t bytes, Completion done) {
+  queue_.push_back(Request{bytes, std::move(done), sim_.now()});
+  if (!busy_) start_next();
+}
+
+void SystemNoc::start_next() {
+  if (queue_.empty()) return;
+  busy_ = true;
+  Request req = std::move(queue_.front());
+  queue_.pop_front();
+  queue_wait_.add(static_cast<double>(sim_.now() - req.enqueued_at));
+
+  const double burst_sec =
+      static_cast<double>(req.bytes) / cfg_.bandwidth_bytes_per_sec;
+  const TimeNs service = cfg_.first_word_latency_ns +
+                         static_cast<TimeNs>(std::ceil(burst_sec * 1e9));
+  busy_time_ += service;
+  bytes_transferred_ += req.bytes;
+  ++transfers_;
+
+  sim_.after(service, [this, done = std::move(req.done)] {
+    if (done) done();
+    busy_ = false;
+    start_next();
+  });
+}
+
+}  // namespace spinn::noc

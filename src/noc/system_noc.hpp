@@ -1,0 +1,61 @@
+// The System NoC (§4, Fig. 3): the general-purpose on-chip interconnect
+// through which the 20 processors (via their DMA controllers) reach the
+// shared off-chip SDRAM.
+//
+// Model: a single serially-shared resource.  Transfers queue FIFO and are
+// serviced at the SDRAM's sustained bandwidth plus a first-word latency.
+// This captures the contention behaviour that matters to the application
+// model: when many cores fetch synaptic rows in the same millisecond, DMA
+// completion times stretch.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/units.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace spinn::noc {
+
+struct SystemNocConfig {
+  double bandwidth_bytes_per_sec = machine::kSdramBandwidthBytesPerSec;
+  TimeNs first_word_latency_ns = machine::kSdramLatency;
+};
+
+class SystemNoc {
+ public:
+  using Completion = std::function<void()>;
+
+  SystemNoc(sim::Simulator& sim, const SystemNocConfig& config);
+
+  /// Queue a transfer of `bytes`; `done` fires when the last beat lands.
+  void transfer(std::uint32_t bytes, Completion done);
+
+  std::uint64_t bytes_transferred() const { return bytes_transferred_; }
+  std::uint64_t transfers() const { return transfers_; }
+  /// Total time the SDRAM port spent busy (for utilisation/energy).
+  TimeNs busy_time() const { return busy_time_; }
+  const sim::Summary& queue_wait() const { return queue_wait_; }
+
+ private:
+  struct Request {
+    std::uint32_t bytes;
+    Completion done;
+    TimeNs enqueued_at;
+  };
+
+  void start_next();
+
+  sim::Simulator& sim_;
+  SystemNocConfig cfg_;
+  std::deque<Request> queue_;
+  bool busy_ = false;
+  std::uint64_t bytes_transferred_ = 0;
+  std::uint64_t transfers_ = 0;
+  TimeNs busy_time_ = 0;
+  sim::Summary queue_wait_;
+};
+
+}  // namespace spinn::noc

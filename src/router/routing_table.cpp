@@ -1,0 +1,43 @@
+#include "router/routing_table.hpp"
+
+namespace spinn::router {
+
+bool MulticastTable::add(McEntry entry) {
+  if (full()) return false;
+  entries_.push_back(entry);
+  return true;
+}
+
+std::optional<Route> MulticastTable::lookup(RoutingKey key) const {
+  for (const McEntry& e : entries_) {
+    if ((key & e.mask) == e.key) return e.route;
+  }
+  return std::nullopt;
+}
+
+void MulticastTable::assign(std::vector<McEntry> entries) {
+  entries_ = std::move(entries);
+  if (entries_.size() > kCapacity) entries_.resize(kCapacity);
+}
+
+P2pTable::P2pTable(std::uint16_t width, std::uint16_t height)
+    : width_(width),
+      height_(height),
+      hops_(static_cast<std::size_t>(width) * height, P2pHop::Drop) {}
+
+std::size_t P2pTable::index_of(P2pAddress dst) const {
+  const ChipCoord c = chip_of_p2p(dst);
+  return static_cast<std::size_t>(c.x) * height_ + c.y;
+}
+
+void P2pTable::set(P2pAddress dst, P2pHop hop) {
+  const std::size_t i = index_of(dst);
+  if (i < hops_.size()) hops_[i] = hop;
+}
+
+P2pHop P2pTable::get(P2pAddress dst) const {
+  const std::size_t i = index_of(dst);
+  return i < hops_.size() ? hops_[i] : P2pHop::Drop;
+}
+
+}  // namespace spinn::router

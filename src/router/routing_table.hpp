@@ -1,0 +1,89 @@
+// Router lookup structures.
+//
+// * MulticastTable — the ternary key/mask CAM of the real router (1024
+//   entries).  An incoming AER key matches entry i iff
+//   (key & mask_i) == key_i; the lowest-numbered hit wins.  A miss invokes
+//   *default routing*: the packet continues straight through (out the port
+//   opposite its arrival port), which is what keeps table sizes small for
+//   long straight paths.
+// * P2pTable — per-destination output port for the algorithmically-routed
+//   point-to-point packets (16-bit destination address).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "router/route.hpp"
+
+namespace spinn::router {
+
+struct McEntry {
+  RoutingKey key = 0;
+  RoutingKey mask = 0;
+  Route route;
+};
+
+class MulticastTable {
+ public:
+  /// The real router has 1024 CAM entries.
+  static constexpr std::size_t kCapacity = 1024;
+
+  /// Append an entry.  Returns false when the table is full (the caller —
+  /// usually the mapping tool — must then compress or re-plan).
+  bool add(McEntry entry);
+
+  /// Lowest-numbered matching entry, or nullopt (=> default routing).
+  std::optional<Route> lookup(RoutingKey key) const;
+
+  std::size_t size() const { return entries_.size(); }
+  bool full() const { return entries_.size() >= kCapacity; }
+  const std::vector<McEntry>& entries() const { return entries_; }
+  void clear() { entries_.clear(); }
+
+  /// Replace the whole table (used by table-minimisation passes).
+  void assign(std::vector<McEntry> entries);
+
+ private:
+  std::vector<McEntry> entries_;
+};
+
+/// Where a p2p packet leaves the current router.
+enum class P2pHop : std::uint8_t {
+  East = 0,
+  NorthEast = 1,
+  North = 2,
+  West = 3,
+  SouthWest = 4,
+  South = 5,
+  Local = 6,  // deliver to this chip's monitor processor
+  Drop = 7,   // unreachable destination
+};
+
+constexpr bool is_link_hop(P2pHop h) {
+  return static_cast<int>(h) < kLinksPerChip;
+}
+constexpr LinkDir link_of(P2pHop h) { return static_cast<LinkDir>(h); }
+
+class P2pTable {
+ public:
+  /// Tables are dense: 256x256 possible destinations, 3 bits each on the
+  /// real chip.  We size to the machine's actual extent.
+  P2pTable() = default;
+  P2pTable(std::uint16_t width, std::uint16_t height);
+
+  void set(P2pAddress dst, P2pHop hop);
+  P2pHop get(P2pAddress dst) const;
+
+  bool configured() const { return !hops_.empty(); }
+
+ private:
+  std::uint16_t width_ = 0;
+  std::uint16_t height_ = 0;
+  std::vector<P2pHop> hops_;  // indexed by x*height + y
+
+  std::size_t index_of(P2pAddress dst) const;
+};
+
+}  // namespace spinn::router

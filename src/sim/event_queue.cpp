@@ -1,0 +1,52 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace spinn::sim {
+
+void EventQueue::schedule_at(TimeNs when, EventAction action,
+                             EventPriority priority) {
+  if (when < now_) {
+    throw std::logic_error("EventQueue: scheduling into the past");
+  }
+  heap_.push(Entry{when, priority, next_seq_++, std::move(action)});
+}
+
+void EventQueue::schedule_in(TimeNs delay, EventAction action,
+                             EventPriority priority) {
+  schedule_at(now_ + delay, std::move(action), priority);
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const&; we must copy the action out before pop.
+  Entry entry = heap_.top();
+  heap_.pop();
+  now_ = entry.when;
+  ++executed_;
+  entry.action();
+  return true;
+}
+
+std::uint64_t EventQueue::run_until(TimeNs until) {
+  std::uint64_t count = 0;
+  while (!heap_.empty() && heap_.top().when <= until) {
+    step();
+    ++count;
+  }
+  if (now_ < until) now_ = until;
+  return count;
+}
+
+std::uint64_t EventQueue::run() {
+  std::uint64_t count = 0;
+  while (step()) ++count;
+  return count;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace spinn::sim

@@ -1,0 +1,74 @@
+// Top-level simulation context: the event queue plus the root deterministic
+// RNG.  Components receive a Simulator& at construction and schedule events
+// against it; nothing touches global state.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+
+namespace spinn::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  EventQueue& queue() { return queue_; }
+  const EventQueue& queue() const { return queue_; }
+
+  TimeNs now() const { return queue_.now(); }
+
+  /// Root RNG.  Components should take a split() of this at construction so
+  /// that adding a component does not perturb the streams of the others.
+  Rng& rng() { return rng_; }
+
+  /// Convenience wrappers.
+  void at(TimeNs when, EventAction action,
+          EventPriority priority = EventPriority::Default) {
+    queue_.schedule_at(when, std::move(action), priority);
+  }
+  void after(TimeNs delay, EventAction action,
+             EventPriority priority = EventPriority::Default) {
+    queue_.schedule_in(delay, std::move(action), priority);
+  }
+
+  std::uint64_t run_until(TimeNs until) { return queue_.run_until(until); }
+  std::uint64_t run() { return queue_.run(); }
+
+ private:
+  EventQueue queue_;
+  Rng rng_;
+};
+
+/// A repeating process: reschedules itself every `period` until cancelled.
+/// Used for timer ticks, traffic generators and watchdog scans.
+class PeriodicProcess {
+ public:
+  PeriodicProcess(Simulator& sim, TimeNs period, EventAction body,
+                  EventPriority priority = EventPriority::Default)
+      : sim_(sim), period_(period), body_(std::move(body)),
+        priority_(priority) {}
+
+  /// Start ticking; first invocation at now() + phase.
+  void start(TimeNs phase = 0);
+  void cancel() { cancelled_ = true; }
+  bool running() const { return started_ && !cancelled_; }
+  TimeNs period() const { return period_; }
+  void set_period(TimeNs period) { period_ = period; }
+
+ private:
+  void tick();
+
+  Simulator& sim_;
+  TimeNs period_;
+  EventAction body_;
+  EventPriority priority_;
+  bool started_ = false;
+  bool cancelled_ = false;
+};
+
+}  // namespace spinn::sim

@@ -1,0 +1,90 @@
+// Lightweight statistics containers used by fabric, boot and bench code:
+// streaming mean/min/max/stddev and fixed-bin histograms (for latency
+// distributions), all cheap enough to update on every packet event.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace spinn::sim {
+
+/// Streaming summary statistics (Welford's algorithm).
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const {
+    return n_ ? min_ : 0.0;
+  }
+  double max() const {
+    return n_ ? max_ : 0.0;
+  }
+
+  void reset() { *this = Summary{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// end bins so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+  void add(double x) {
+    summary_.add(x);
+    const double f = (x - lo_) / (hi_ - lo_);
+    auto bin = static_cast<std::int64_t>(
+        f * static_cast<double>(counts_.size()));
+    bin = std::clamp<std::int64_t>(bin, 0,
+                                   static_cast<std::int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(bin)];
+  }
+
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  const Summary& summary() const { return summary_; }
+
+  double bin_lo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+  }
+  double bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+  /// Value below which the given fraction of samples fall (linear
+  /// interpolation inside the bin).
+  double percentile(double p) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  Summary summary_;
+};
+
+}  // namespace spinn::sim

@@ -1,0 +1,112 @@
+// Tests for the delay-insensitive codes of §5.1: 3-of-6 RTZ (on-chip) and
+// 2-of-7 NRZ (inter-chip).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "link/codes.hpp"
+
+namespace spinn::link {
+namespace {
+
+// ---- 3-of-6 RTZ ------------------------------------------------------------
+
+class RtzSymbolTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RtzSymbolTest, RoundTripsAndWeight) {
+  const ThreeOfSixRtz code;
+  const auto value = static_cast<std::uint8_t>(GetParam());
+  const Codeword w = code.encode(value);
+  EXPECT_EQ(count_wires(w, ThreeOfSixRtz::kWires), 3) << "not 3-of-6";
+  EXPECT_TRUE(ThreeOfSixRtz::is_complete(w));
+  const auto decoded = code.decode(w);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, value);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSymbols, RtzSymbolTest, ::testing::Range(0, 16));
+
+TEST(Rtz, CodewordsDistinct) {
+  const ThreeOfSixRtz code;
+  std::set<Codeword> seen;
+  for (int v = 0; v < kSymbolValues; ++v) seen.insert(code.encode(v));
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Rtz, InvalidWordsRejected) {
+  const ThreeOfSixRtz code;
+  EXPECT_FALSE(code.decode(0b000000).has_value());
+  EXPECT_FALSE(code.decode(0b000011).has_value());  // 2 wires
+  EXPECT_FALSE(code.decode(0b001111).has_value());  // 4 wires
+  EXPECT_FALSE(ThreeOfSixRtz::is_complete(0b110000));
+}
+
+TEST(Rtz, TransitionCountsMatchPaper) {
+  // "a 3-of-6 RTZ code uses 8 wire transitions to send the same 4 bits":
+  // 3 rising + 3 falling on data plus ack up + ack down.
+  EXPECT_EQ(ThreeOfSixRtz::data_transitions_per_symbol() +
+                ThreeOfSixRtz::ack_transitions_per_symbol(),
+            8);
+  EXPECT_EQ(ThreeOfSixRtz::handshake_round_trips(), 2);
+}
+
+// ---- 2-of-7 NRZ ------------------------------------------------------------
+
+class NrzSymbolTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NrzSymbolTest, RoundTripsAndWeight) {
+  const TwoOfSevenNrz code;
+  const auto value = static_cast<std::uint8_t>(GetParam());
+  const Codeword w = code.encode(value);
+  EXPECT_EQ(count_wires(w, TwoOfSevenNrz::kWires), 2) << "not 2-of-7";
+  EXPECT_TRUE(TwoOfSevenNrz::is_complete(w));
+  EXPECT_FALSE(code.is_eop(w)) << "data symbol must not collide with EOP";
+  const auto decoded = code.decode(w);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, value);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSymbols, NrzSymbolTest, ::testing::Range(0, 16));
+
+TEST(Nrz, CodewordsDistinctAndEopReserved) {
+  const TwoOfSevenNrz code;
+  std::set<Codeword> seen;
+  for (int v = 0; v < kSymbolValues; ++v) seen.insert(code.encode(v));
+  EXPECT_EQ(seen.size(), 16u);
+  EXPECT_FALSE(seen.count(code.eop()));
+  EXPECT_EQ(count_wires(code.eop(), TwoOfSevenNrz::kWires), 2);
+  EXPECT_FALSE(code.decode(code.eop()).has_value());
+}
+
+TEST(Nrz, InvalidMasksRejected) {
+  const TwoOfSevenNrz code;
+  EXPECT_FALSE(code.decode(0).has_value());
+  EXPECT_FALSE(code.decode(0b0000111).has_value());  // 3 toggles
+  EXPECT_FALSE(TwoOfSevenNrz::is_complete(0b0000001));
+}
+
+TEST(Nrz, TransitionCountsMatchPaper) {
+  // "a 2-of-7 NRZ code uses 3 off-chip wire transitions to send 4 bits":
+  // 2 data toggles + 1 ack toggle.
+  EXPECT_EQ(TwoOfSevenNrz::data_transitions_per_symbol() +
+                TwoOfSevenNrz::ack_transitions_per_symbol(),
+            3);
+  EXPECT_EQ(TwoOfSevenNrz::handshake_round_trips(), 1);
+}
+
+TEST(Codes, AlphabetCapacityIsExactlySixteen) {
+  // C(6,3) = 20 and C(7,2) = 21 codewords exist; both comfortably cover the
+  // 16 data values (the 2-of-7 code additionally reserves EOP).
+  int count36 = 0, count27 = 0;
+  for (unsigned w = 0; w < 64; ++w) {
+    if (count_wires(static_cast<Codeword>(w), 6) == 3) ++count36;
+  }
+  for (unsigned w = 0; w < 128; ++w) {
+    if (count_wires(static_cast<Codeword>(w), 7) == 2) ++count27;
+  }
+  EXPECT_EQ(count36, 20);
+  EXPECT_EQ(count27, 21);
+}
+
+}  // namespace
+}  // namespace spinn::link

@@ -1,0 +1,231 @@
+// Unit tests for the common substrate: strong types, deterministic RNG and
+// S16.15 fixed-point arithmetic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/fixed_point.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace spinn {
+namespace {
+
+// ---- types -----------------------------------------------------------------
+
+TEST(Types, OppositeLinkIsInvolution) {
+  for (int l = 0; l < kLinksPerChip; ++l) {
+    const auto d = static_cast<LinkDir>(l);
+    EXPECT_EQ(opposite(opposite(d)), d);
+    EXPECT_NE(opposite(d), d);
+  }
+}
+
+TEST(Types, OppositePairsMatchGeometry) {
+  EXPECT_EQ(opposite(LinkDir::East), LinkDir::West);
+  EXPECT_EQ(opposite(LinkDir::NorthEast), LinkDir::SouthWest);
+  EXPECT_EQ(opposite(LinkDir::North), LinkDir::South);
+}
+
+TEST(Types, P2pAddressRoundTrip) {
+  for (std::uint16_t x = 0; x < 256; x += 17) {
+    for (std::uint16_t y = 0; y < 256; y += 13) {
+      const ChipCoord c{x, y};
+      EXPECT_EQ(chip_of_p2p(make_p2p_address(c)), c);
+    }
+  }
+}
+
+TEST(Types, ChipCoordOrderingAndHash) {
+  const ChipCoord a{1, 2};
+  const ChipCoord b{1, 3};
+  const ChipCoord c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_NE(std::hash<ChipCoord>{}(a), std::hash<ChipCoord>{}(b));
+}
+
+TEST(Types, StreamOperators) {
+  std::ostringstream os;
+  os << ChipCoord{3, 4} << " " << LinkDir::NorthEast << " "
+     << CoreId{{1, 1}, 7};
+  EXPECT_EQ(os.str(), "(3,4) NE (1,1):7");
+}
+
+// ---- rng -------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t v = rng.uniform_int(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values reached
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(11);
+  for (const double mean : {0.5, 3.0, 20.0, 100.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.poisson(mean);
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(13);
+  const double rate = 4.0;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(99);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.next() == child2.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+// ---- fixed point -----------------------------------------------------------
+
+using fixed_literals::operator""_acc;
+
+TEST(Accum, IntConversionExact) {
+  for (int v = -1000; v <= 1000; v += 37) {
+    EXPECT_DOUBLE_EQ(Accum::from_int(v).to_double(), v);
+  }
+}
+
+TEST(Accum, AdditionSubtraction) {
+  const Accum a = Accum::from_double(1.5);
+  const Accum b = Accum::from_double(2.25);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 3.75);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), -0.75);
+  EXPECT_DOUBLE_EQ((-a).to_double(), -1.5);
+}
+
+TEST(Accum, MultiplicationAccuracy) {
+  // Fixed point should track doubles to within one LSB for moderate values.
+  const double lsb = 1.0 / (1 << Accum::kFractionBits);
+  for (double a = -8.0; a <= 8.0; a += 0.613) {
+    for (double b = -8.0; b <= 8.0; b += 0.427) {
+      const double got =
+          (Accum::from_double(a) * Accum::from_double(b)).to_double();
+      EXPECT_NEAR(got, a * b, 32 * lsb) << a << " * " << b;
+    }
+  }
+}
+
+TEST(Accum, DivisionAccuracy) {
+  const double lsb = 1.0 / (1 << Accum::kFractionBits);
+  const double got =
+      (Accum::from_double(5.0) / Accum::from_double(2.0)).to_double();
+  EXPECT_NEAR(got, 2.5, lsb);
+}
+
+TEST(Accum, SaturatingAddClamps) {
+  const Accum big = Accum::from_raw(INT32_MAX - 5);
+  const Accum more = Accum::from_int(10);
+  EXPECT_EQ(Accum::saturating_add(big, more).raw(), INT32_MAX);
+  const Accum small = Accum::from_raw(INT32_MIN + 5);
+  EXPECT_EQ(Accum::saturating_add(small, -more).raw(), INT32_MIN);
+}
+
+TEST(Accum, ComparisonOperators) {
+  EXPECT_LT(1.0_acc, 2.0_acc);
+  EXPECT_EQ(2.0_acc, Accum::from_int(2));
+  EXPECT_GT(0.5_acc, 0.25_acc);
+}
+
+TEST(Accum, CompoundAssignment) {
+  Accum a = 1.0_acc;
+  a += 2.0_acc;
+  EXPECT_DOUBLE_EQ(a.to_double(), 3.0);
+  a -= 0.5_acc;
+  EXPECT_DOUBLE_EQ(a.to_double(), 2.5);
+  a *= 2.0_acc;
+  EXPECT_DOUBLE_EQ(a.to_double(), 5.0);
+}
+
+/// Property sweep: (a*b)*c ~ a*(b*c) within quantisation tolerance.
+class AccumAssocTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AccumAssocTest, MultiplicationNearAssociative) {
+  Rng rng(GetParam());
+  const double lsb = 1.0 / (1 << Accum::kFractionBits);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(-5.0, 5.0);
+    const double b = rng.uniform(-5.0, 5.0);
+    const double c = rng.uniform(-5.0, 5.0);
+    const Accum l =
+        (Accum::from_double(a) * Accum::from_double(b)) * Accum::from_double(c);
+    const Accum r =
+        Accum::from_double(a) * (Accum::from_double(b) * Accum::from_double(c));
+    EXPECT_NEAR(l.to_double(), r.to_double(), 64 * lsb);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccumAssocTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace spinn

@@ -1,0 +1,76 @@
+// Tests of the §5.1 signalling trade-off model (experiment E2's invariants):
+// off-chip the 2-of-7 NRZ code should double throughput and better-than-
+// halve energy per symbol vs 3-of-6 RTZ; on-chip the balance reverses.
+#include <gtest/gtest.h>
+
+#include "link/link_timing.hpp"
+
+namespace spinn::link {
+namespace {
+
+TEST(LinkTiming, OffChipNrzDoublesThroughput) {
+  const ChannelParams ch = off_chip_channel();
+  const SymbolCost rtz = rtz_cost(ch);
+  const SymbolCost nrz = nrz_cost(ch);
+  // NRZ completes one handshake loop per symbol, RTZ two.
+  EXPECT_EQ(nrz.time_per_symbol_ns * 2, rtz.time_per_symbol_ns);
+  EXPECT_NEAR(nrz.throughput_mbps / rtz.throughput_mbps, 2.0, 1e-9);
+}
+
+TEST(LinkTiming, OffChipNrzLessThanHalfEnergy) {
+  const ChannelParams ch = off_chip_channel();
+  const SymbolCost rtz = rtz_cost(ch);
+  const SymbolCost nrz = nrz_cost(ch);
+  EXPECT_LT(nrz.energy_per_symbol_pj, 0.5 * rtz.energy_per_symbol_pj)
+      << "paper: NRZ sends 4 bits for less than half the energy off-chip";
+}
+
+TEST(LinkTiming, OffChipWireEnergyDominatesLogic) {
+  const ChannelParams ch = off_chip_channel();
+  const double transition_pj =
+      ch.wire_capacitance_pf * ch.supply_volts * ch.supply_volts;
+  EXPECT_GT(3.0 * transition_pj, 10.0 * ch.logic_energy_pj)
+      << "off-chip pads/traces must dwarf codec logic for the paper's "
+         "argument to hold";
+}
+
+TEST(LinkTiming, OnChipRtzWinsOnEnergy) {
+  const ChannelParams ch = on_chip_channel();
+  const SymbolCost rtz = rtz_cost(ch);
+  const SymbolCost nrz = nrz_cost(ch);
+  // "In the on-chip domain the balance is very different, and the simpler
+  // logic of the RTZ code dominates the decision on both power and
+  // performance."
+  EXPECT_LT(rtz.energy_per_symbol_pj, nrz.energy_per_symbol_pj);
+}
+
+TEST(LinkTiming, ThroughputScalesInverselyWithFlightTime) {
+  ChannelParams near = off_chip_channel();
+  ChannelParams far = off_chip_channel();
+  far.flight_time_ns = near.flight_time_ns * 3;
+  EXPECT_GT(nrz_cost(near).throughput_mbps, nrz_cost(far).throughput_mbps);
+}
+
+TEST(LinkTiming, SymbolCostArithmetic) {
+  ChannelParams ch{.flight_time_ns = 5,
+                   .logic_latency_ns = 2,
+                   .wire_capacitance_pf = 1.0,
+                   .supply_volts = 2.0,
+                   .logic_energy_pj = 1.0};
+  // One round trip: 2*5 + 2*2 = 14 ns.  3 transitions * 1pF * 4V^2 = 12 pJ
+  // + 1 pJ logic = 13 pJ.
+  const SymbolCost c = symbol_cost(1, 2, 1, 1.0, ch);
+  EXPECT_EQ(c.time_per_symbol_ns, 14);
+  EXPECT_DOUBLE_EQ(c.energy_per_symbol_pj, 13.0);
+  EXPECT_NEAR(c.throughput_mbps, 4.0 / 14.0 * 1000.0, 0.01);
+}
+
+TEST(LinkTiming, RealisticInterChipRateOrderOfMagnitude) {
+  // The real machine's inter-chip links run at roughly a quarter Gb/s.
+  const SymbolCost nrz = nrz_cost(off_chip_channel());
+  EXPECT_GT(nrz.throughput_mbps, 100.0);
+  EXPECT_LT(nrz.throughput_mbps, 1000.0);
+}
+
+}  // namespace
+}  // namespace spinn::link

@@ -1,0 +1,397 @@
+// Tests for the design-automation stack (§5.3): placement, key allocation,
+// multicast routing-table generation with default-route compression, and
+// key/mask table minimisation.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "map/loader.hpp"
+#include "map/placement.hpp"
+#include "map/routing_gen.hpp"
+#include "mesh/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace spinn::map {
+namespace {
+
+mesh::MachineConfig machine_config(std::uint16_t w = 4, std::uint16_t h = 4,
+                                   CoreIndex cores = 5) {
+  mesh::MachineConfig cfg;
+  cfg.width = w;
+  cfg.height = h;
+  cfg.chip.num_cores = cores;
+  cfg.chip.clock_drift_ppm_sigma = 0.0;
+  return cfg;
+}
+
+// ---- placement ---------------------------------------------------------------
+
+TEST(Placement, SlicesCoverPopulationExactly) {
+  sim::Simulator sim(1);
+  mesh::Machine m(sim, machine_config());
+  neural::Network net;
+  net.add_lif("big", 1000);
+  MapperConfig cfg;
+  cfg.neurons_per_core = 256;
+  const PlacementResult placement = place(net, m, cfg);
+  ASSERT_TRUE(placement.fits);
+  ASSERT_EQ(placement.slices.size(), 4u);  // 256+256+256+232
+  std::uint32_t covered = 0;
+  std::uint32_t next = 0;
+  for (const Slice& s : placement.slices) {
+    EXPECT_EQ(s.first_neuron, next);
+    next += s.num_neurons;
+    covered += s.num_neurons;
+    EXPECT_LE(s.num_neurons, 256u);
+  }
+  EXPECT_EQ(covered, 1000u);
+}
+
+TEST(Placement, DistinctCoresAndKeyBases) {
+  sim::Simulator sim(1);
+  mesh::Machine m(sim, machine_config());
+  neural::Network net;
+  net.add_lif("a", 600);
+  net.add_lif("b", 600);
+  const PlacementResult placement = place(net, m, MapperConfig{});
+  ASSERT_TRUE(placement.fits);
+  std::set<CoreId> cores;
+  std::set<RoutingKey> keys;
+  for (const Slice& s : placement.slices) {
+    EXPECT_TRUE(cores.insert(s.core).second) << "core reused";
+    EXPECT_TRUE(keys.insert(s.key_base).second) << "key base reused";
+    EXPECT_EQ(s.key_base & ~kSliceKeyMask, 0u)
+        << "key base must be aligned to the slice key space";
+  }
+}
+
+TEST(Placement, ReservesMonitorCore) {
+  sim::Simulator sim(1);
+  mesh::Machine m(sim, machine_config(1, 1, 3));
+  // Elect core 2 as monitor by force.
+  m.chip_at({0, 0}).system_controller().force_monitor(2);
+  neural::Network net;
+  net.add_lif("a", 2 * 256);
+  const PlacementResult placement = place(net, m, MapperConfig{});
+  ASSERT_TRUE(placement.fits);
+  for (const Slice& s : placement.slices) {
+    EXPECT_NE(s.core.core, 2) << "monitor core must stay free";
+  }
+}
+
+TEST(Placement, FailedCoresSkipped) {
+  sim::Simulator sim(1);
+  mesh::Machine m(sim, machine_config(1, 1, 4));
+  m.chip_at({0, 0}).core(1).mark_failed();
+  neural::Network net;
+  net.add_lif("a", 512);
+  const PlacementResult placement = place(net, m, MapperConfig{});
+  ASSERT_TRUE(placement.fits);
+  for (const Slice& s : placement.slices) {
+    EXPECT_NE(s.core.core, 1);
+  }
+}
+
+TEST(Placement, ReportsWhenMachineTooSmall) {
+  sim::Simulator sim(1);
+  mesh::Machine m(sim, machine_config(1, 1, 2));  // 1 app core
+  neural::Network net;
+  net.add_lif("a", 10'000);
+  const PlacementResult placement = place(net, m, MapperConfig{});
+  EXPECT_FALSE(placement.fits);
+}
+
+TEST(Placement, ScatterSpreadsAcrossChips) {
+  sim::Simulator sim(1);
+  mesh::Machine m(sim, machine_config(4, 4, 5));
+  neural::Network net;
+  net.add_lif("a", 4 * 256);
+  MapperConfig packed;
+  MapperConfig scattered;
+  scattered.scatter = true;
+  const auto p1 = place(net, m, packed);
+  const auto p2 = place(net, m, scattered);
+  ASSERT_TRUE(p1.fits);
+  ASSERT_TRUE(p2.fits);
+  EXPECT_LE(p1.chips_used, p2.chips_used)
+      << "scatter must not use fewer chips than packing";
+}
+
+TEST(Placement, SliceOfFindsOwner) {
+  sim::Simulator sim(1);
+  mesh::Machine m(sim, machine_config());
+  neural::Network net;
+  const auto a = net.add_lif("a", 300);
+  const PlacementResult placement = place(net, m, MapperConfig{});
+  const auto s0 = slice_of(placement, a, 0);
+  const auto s299 = slice_of(placement, a, 299);
+  ASSERT_TRUE(s0.has_value());
+  ASSERT_TRUE(s299.has_value());
+  EXPECT_NE(*s0, *s299);
+  EXPECT_FALSE(slice_of(placement, a, 300).has_value());
+}
+
+// ---- routing generation --------------------------------------------------------
+
+/// Follow the generated tables (plus default routing) from a source chip
+/// and collect every (chip, core) the key reaches.
+std::set<CoreId> walk_route(const RoutingResult& routing,
+                            const mesh::Topology& topo, ChipCoord source,
+                            RoutingKey key) {
+  std::set<CoreId> delivered;
+
+  struct Hop {
+    ChipCoord chip;
+    std::optional<LinkDir> in;
+  };
+  std::vector<Hop> frontier{{source, std::nullopt}};
+  int guard = 0;
+  while (!frontier.empty() && guard++ < 10'000) {
+    const Hop hop = frontier.back();
+    frontier.pop_back();
+    // Find the chip's matching entry.
+    std::optional<router::Route> route;
+    const auto it = routing.tables.find(hop.chip);
+    if (it != routing.tables.end()) {
+      for (const router::McEntry& e : it->second) {
+        if ((key & e.mask) == e.key) {
+          route = e.route;
+          break;
+        }
+      }
+    }
+    if (!route.has_value()) {
+      if (!hop.in.has_value()) continue;  // locally injected, no entry: drop
+      route = router::Route::to_link(opposite(*hop.in));  // default route
+    }
+    for (int l = 0; l < kLinksPerChip; ++l) {
+      const auto d = static_cast<LinkDir>(l);
+      if (route->has_link(d)) {
+        frontier.push_back(Hop{topo.neighbour(hop.chip, d), opposite(d)});
+      }
+    }
+    for (CoreIndex c = 0; c < kCoresPerChip; ++c) {
+      if (route->has_core(c)) delivered.insert(CoreId{hop.chip, c});
+    }
+  }
+  return delivered;
+}
+
+struct RoutedNetwork {
+  sim::Simulator sim{1};
+  mesh::Machine machine;
+  neural::Network net;
+  PlacementResult placement;
+  RoutingResult routing;
+
+  explicit RoutedNetwork(const MapperConfig& cfg,
+                         std::uint16_t w = 6, std::uint16_t h = 6,
+                         CoreIndex cores = 6)
+      : machine(sim, machine_config(w, h, cores)) {
+    const auto src = net.add_poisson("src", 600, 10.0);
+    const auto mid = net.add_lif("mid", 600);
+    const auto dst = net.add_lif("dst", 300);
+    net.connect(src, mid, neural::Connector::fixed_probability(0.1),
+                neural::ValueDist::fixed(1.0), neural::ValueDist::fixed(1.0));
+    net.connect(mid, dst, neural::Connector::all_to_all(),
+                neural::ValueDist::fixed(0.5), neural::ValueDist::fixed(2.0));
+    net.connect(mid, mid, neural::Connector::fixed_probability(0.05),
+                neural::ValueDist::fixed(0.2), neural::ValueDist::fixed(1.0),
+                /*inhibitory=*/true);
+    placement = place(net, machine, cfg);
+    routing = generate_routing(net, placement, machine.topology(), cfg);
+  }
+};
+
+TEST(Routing, EverySliceReachesExactlyItsDestinations) {
+  MapperConfig cfg;
+  RoutedNetwork rn(cfg);
+  ASSERT_TRUE(rn.placement.fits);
+  for (std::size_t si = 0; si < rn.placement.slices.size(); ++si) {
+    const Slice& s = rn.placement.slices[si];
+    const auto expected_vec = destinations_of(rn.net, rn.placement, si);
+    const std::set<CoreId> expected(expected_vec.begin(), expected_vec.end());
+    const std::set<CoreId> reached = walk_route(
+        rn.routing, rn.machine.topology(), s.core.chip, s.key_base);
+    EXPECT_EQ(reached, expected) << "slice " << si;
+    // Also check a key in the middle of the slice's range.
+    const std::set<CoreId> reached_mid =
+        walk_route(rn.routing, rn.machine.topology(), s.core.chip,
+                   s.key_base + s.num_neurons / 2);
+    EXPECT_EQ(reached_mid, expected);
+  }
+}
+
+TEST(Routing, DefaultRouteCompressionShrinksTables) {
+  // One application core per chip spreads the slices out, giving the long
+  // straight path segments that default routing elides.
+  MapperConfig with;
+  with.default_route_compression = true;
+  with.minimize_tables = false;
+  MapperConfig without;
+  without.default_route_compression = false;
+  without.minimize_tables = false;
+  RoutedNetwork a(with, 6, 6, 2);
+  RoutedNetwork b(without, 6, 6, 2);
+  EXPECT_LT(a.routing.stats.entries_total, b.routing.stats.entries_total);
+  EXPECT_GT(a.routing.stats.entries_saved_by_default_route, 0u);
+}
+
+TEST(Routing, CompressionPreservesDeliveries) {
+  MapperConfig with;
+  with.default_route_compression = true;
+  MapperConfig without;
+  without.default_route_compression = false;
+  RoutedNetwork a(with, 6, 6, 2);
+  RoutedNetwork b(without, 6, 6, 2);
+  for (std::size_t si = 0; si < a.placement.slices.size(); ++si) {
+    const Slice& s = a.placement.slices[si];
+    EXPECT_EQ(walk_route(a.routing, a.machine.topology(), s.core.chip,
+                         s.key_base),
+              walk_route(b.routing, b.machine.topology(), s.core.chip,
+                         s.key_base))
+        << "slice " << si;
+  }
+}
+
+TEST(Routing, MinimizationShrinksOrEqualsAndPreservesSemantics) {
+  MapperConfig raw;
+  raw.minimize_tables = false;
+  MapperConfig mini;
+  mini.minimize_tables = true;
+  RoutedNetwork a(raw);
+  RoutedNetwork b(mini);
+  EXPECT_LE(b.routing.stats.entries_total, a.routing.stats.entries_total);
+  for (std::size_t si = 0; si < a.placement.slices.size(); ++si) {
+    const Slice& s = a.placement.slices[si];
+    for (const RoutingKey probe :
+         {s.key_base, s.key_base + 1, s.key_base + s.num_neurons - 1}) {
+      EXPECT_EQ(
+          walk_route(a.routing, a.machine.topology(), s.core.chip, probe),
+          walk_route(b.routing, b.machine.topology(), s.core.chip, probe));
+    }
+  }
+}
+
+TEST(Minimize, MergesSiblingEntries) {
+  std::vector<router::McEntry> entries{
+      {0x0000, 0xF800, router::Route::to_link(LinkDir::East)},
+      {0x0800, 0xF800, router::Route::to_link(LinkDir::East)},
+  };
+  const auto merged = minimize_entries(entries);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].key, 0x0000u);
+  EXPECT_EQ(merged[0].mask, 0xF000u);
+  // Both original keys still match.
+  EXPECT_EQ(0x0000u & merged[0].mask, merged[0].key);
+  EXPECT_EQ(0x0800u & merged[0].mask, merged[0].key);
+}
+
+TEST(Minimize, DoesNotMergeDifferentRoutes) {
+  std::vector<router::McEntry> entries{
+      {0x0000, 0xF800, router::Route::to_link(LinkDir::East)},
+      {0x0800, 0xF800, router::Route::to_link(LinkDir::West)},
+  };
+  EXPECT_EQ(minimize_entries(entries).size(), 2u);
+}
+
+TEST(Minimize, CascadesMerges) {
+  const router::Route r = router::Route::to_core(1);
+  std::vector<router::McEntry> entries{
+      {0x0000, 0xF800, r},
+      {0x0800, 0xF800, r},
+      {0x1000, 0xF800, r},
+      {0x1800, 0xF800, r},
+  };
+  const auto merged = minimize_entries(entries);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].mask, 0xE000u);
+}
+
+// ---- loader ---------------------------------------------------------------------
+
+TEST(Loader, BuildsRowsAndInstallsPrograms) {
+  sim::Simulator sim(1);
+  mesh::Machine m(sim, machine_config());
+  neural::Network net;
+  const auto a = net.add_lif("a", 20);
+  const auto b = net.add_lif("b", 20);
+  net.connect(a, b, neural::Connector::one_to_one(),
+              neural::ValueDist::fixed(2.0), neural::ValueDist::fixed(3.0));
+  Loader loader(MapperConfig{});
+  neural::SpikeRecorder rec;
+  Rng rng(9);
+  const LoadReport report = loader.load(net, m, &rec, rng);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.total_synapses, 20u);
+  EXPECT_EQ(report.total_rows, 20u);
+  EXPECT_GT(report.sdram_bytes, 0u);
+  ASSERT_EQ(loader.apps().size(), 2u);
+  // The b-side app holds one row per source neuron, keyed by a's key space.
+  const RoutingKey b_key_base =
+      report.placement.slices[report.placement.by_population[b][0]].key_base;
+  const RoutingKey a_key_base =
+      report.placement.slices[report.placement.by_population[a][0]].key_base;
+  neural::NeuronApp* b_app = nullptr;
+  for (auto* app : loader.apps()) {
+    if (app->config().key_base == b_key_base) b_app = app;
+  }
+  ASSERT_NE(b_app, nullptr);
+  EXPECT_EQ(b_app->rows().num_rows(), 20u);
+  const neural::SynapticRow* row = b_app->rows().find(a_key_base + 7);
+  ASSERT_NE(row, nullptr);
+  ASSERT_EQ(row->synapses.size(), 1u);
+  EXPECT_EQ(row->synapses[0].target, 7u);
+  EXPECT_EQ(row->synapses[0].delay, 3u);
+  EXPECT_NEAR(row->synapses[0].weight().to_double(), 2.0, 0.01);
+}
+
+TEST(Loader, AllToAllSynapseCount) {
+  sim::Simulator sim(1);
+  mesh::Machine m(sim, machine_config());
+  neural::Network net;
+  const auto a = net.add_lif("a", 30);
+  const auto b = net.add_lif("b", 40);
+  net.connect(a, b, neural::Connector::all_to_all(),
+              neural::ValueDist::fixed(1.0), neural::ValueDist::fixed(1.0));
+  Loader loader(MapperConfig{});
+  Rng rng(3);
+  const LoadReport report = loader.load(net, m, nullptr, rng);
+  ASSERT_TRUE(report.ok);
+  EXPECT_EQ(report.total_synapses, 30u * 40u);
+}
+
+TEST(Loader, SelfConnectionsExcludedByDefault) {
+  sim::Simulator sim(1);
+  mesh::Machine m(sim, machine_config());
+  neural::Network net;
+  const auto a = net.add_lif("a", 25);
+  net.connect(a, a, neural::Connector::all_to_all(),
+              neural::ValueDist::fixed(1.0), neural::ValueDist::fixed(1.0));
+  Loader loader(MapperConfig{});
+  Rng rng(3);
+  const LoadReport report = loader.load(net, m, nullptr, rng);
+  ASSERT_TRUE(report.ok);
+  EXPECT_EQ(report.total_synapses, 25u * 24u);
+}
+
+TEST(Loader, FixedProbabilityDensityApproximatelyRight) {
+  sim::Simulator sim(1);
+  mesh::Machine m(sim, machine_config(6, 6, 6));
+  neural::Network net;
+  const auto a = net.add_lif("a", 200);
+  const auto b = net.add_lif("b", 200);
+  net.connect(a, b, neural::Connector::fixed_probability(0.1),
+              neural::ValueDist::fixed(1.0), neural::ValueDist::fixed(1.0));
+  Loader loader(MapperConfig{});
+  Rng rng(5);
+  const LoadReport report = loader.load(net, m, nullptr, rng);
+  ASSERT_TRUE(report.ok);
+  const double expected = 200.0 * 200.0 * 0.1;
+  EXPECT_NEAR(static_cast<double>(report.total_synapses), expected,
+              expected * 0.15);
+}
+
+}  // namespace
+}  // namespace spinn::map

@@ -1,0 +1,173 @@
+// Tests for runtime functional migration (paper abstract: "run-time support
+// for functional migration and real-time fault mitigation"): a slice moves
+// from a failing core to a spare, keeping its AER identity, state and
+// traffic.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "map/migration.hpp"
+
+namespace spinn {
+namespace {
+
+SystemConfig small_system() {
+  SystemConfig cfg;
+  cfg.machine.width = 2;
+  cfg.machine.height = 2;
+  cfg.machine.chip.num_cores = 6;
+  cfg.machine.chip.clock_drift_ppm_sigma = 0.0;
+  cfg.mapper.neurons_per_core = 64;
+  return cfg;
+}
+
+struct Rig {
+  System sys;
+  neural::Network net;
+  neural::PopulationId src, dst;
+  map::LoadReport report;
+
+  Rig() : sys(small_system()) {
+    src = net.add_poisson("src", 32, 50.0);
+    dst = net.add_lif("dst", 32);
+    net.population(dst).record = true;
+    net.connect(src, dst, neural::Connector::all_to_all(),
+                neural::ValueDist::fixed(2.0), neural::ValueDist::fixed(1.0));
+    report = sys.load(net);
+  }
+
+  CoreId core_of(neural::PopulationId pop) {
+    return report.placement
+        .slices[report.placement.by_population[pop][0]]
+        .core;
+  }
+
+  std::size_t dst_spikes() {
+    const auto base =
+        report.placement.slices[report.placement.by_population[dst][0]]
+            .key_base;
+    return sys.spikes().count_in_key_range(base, 1u << 11);
+  }
+};
+
+TEST(Migration, FindSparePrefersSameChip) {
+  Rig rig;
+  ASSERT_TRUE(rig.report.ok);
+  map::Migrator migrator(rig.net, rig.report.placement,
+                         small_system().mapper);
+  const CoreId victim = rig.core_of(rig.dst);
+  const auto spare = migrator.find_spare(rig.sys.machine(), victim.chip);
+  ASSERT_TRUE(spare.has_value());
+  EXPECT_EQ(spare->chip, victim.chip) << "6-core chip has spare app cores";
+  EXPECT_NE(*spare, victim);
+  EXPECT_NE(*spare, rig.core_of(rig.src));
+}
+
+TEST(Migration, TargetSliceKeepsReceivingAfterMigration) {
+  Rig rig;
+  ASSERT_TRUE(rig.report.ok);
+  rig.sys.run(100 * kMillisecond);
+  const std::size_t before = rig.dst_spikes();
+  ASSERT_GT(before, 0u);
+
+  // The dst core starts failing: migrate its slice away mid-run.
+  map::Migrator migrator(rig.net, rig.report.placement,
+                         small_system().mapper);
+  const CoreId victim = rig.core_of(rig.dst);
+  const auto mig = migrator.migrate(rig.sys.machine(), victim);
+  ASSERT_TRUE(mig.ok) << mig.error;
+  EXPECT_NE(mig.to, victim);
+  EXPECT_GT(mig.entries_written, 0u);
+
+  rig.sys.run(100 * kMillisecond);
+  const std::size_t after = rig.dst_spikes();
+  EXPECT_GT(after, before + before / 4)
+      << "the migrated population must keep firing at a comparable rate";
+  // The program really moved.
+  EXPECT_EQ(rig.sys.machine()
+                .chip_at(victim.chip)
+                .core(victim.core)
+                .program(),
+            nullptr);
+  EXPECT_NE(
+      rig.sys.machine().chip_at(mig.to.chip).core(mig.to.core).program(),
+      nullptr);
+}
+
+TEST(Migration, SourceSliceKeepsSendingAfterMigration) {
+  Rig rig;
+  ASSERT_TRUE(rig.report.ok);
+  rig.sys.run(50 * kMillisecond);
+  const std::size_t before = rig.dst_spikes();
+
+  map::Migrator migrator(rig.net, rig.report.placement,
+                         small_system().mapper);
+  const auto mig = migrator.migrate(rig.sys.machine(), rig.core_of(rig.src));
+  ASSERT_TRUE(mig.ok) << mig.error;
+
+  rig.sys.run(100 * kMillisecond);
+  EXPECT_GT(rig.dst_spikes(), before)
+      << "spikes from the migrated source still reach the target";
+}
+
+TEST(Migration, MigrationUpdatesPlacement) {
+  Rig rig;
+  ASSERT_TRUE(rig.report.ok);
+  map::Migrator migrator(rig.net, rig.report.placement,
+                         small_system().mapper);
+  const CoreId victim = rig.core_of(rig.dst);
+  const auto mig = migrator.migrate(rig.sys.machine(), victim);
+  ASSERT_TRUE(mig.ok);
+  EXPECT_EQ(rig.core_of(rig.dst), mig.to);
+}
+
+TEST(Migration, ErrorsOnEmptyCore) {
+  Rig rig;
+  ASSERT_TRUE(rig.report.ok);
+  map::Migrator migrator(rig.net, rig.report.placement,
+                         small_system().mapper);
+  // Core 5 on the far chip hosts nothing.
+  const auto mig =
+      migrator.migrate(rig.sys.machine(), CoreId{{1, 1}, 5});
+  EXPECT_FALSE(mig.ok);
+}
+
+TEST(Migration, ErrorsWhenNoSpareExists) {
+  // A machine exactly as large as the network: no spare cores anywhere.
+  SystemConfig cfg;
+  cfg.machine.width = 1;
+  cfg.machine.height = 1;
+  cfg.machine.chip.num_cores = 3;  // 1 monitor-reserved + 2 app cores
+  cfg.mapper.neurons_per_core = 64;
+  System sys(cfg);
+  neural::Network net;
+  const auto a = net.add_poisson("a", 32, 10.0);
+  const auto b = net.add_lif("b", 32);
+  net.connect(a, b, neural::Connector::one_to_one(),
+              neural::ValueDist::fixed(1.0), neural::ValueDist::fixed(1.0));
+  auto report = sys.load(net);
+  ASSERT_TRUE(report.ok);
+  map::Migrator migrator(net, report.placement, cfg.mapper);
+  const CoreId victim =
+      report.placement.slices[report.placement.by_population[b][0]].core;
+  const auto mig = migrator.migrate(sys.machine(), victim);
+  EXPECT_FALSE(mig.ok);
+  EXPECT_NE(mig.error.find("spare"), std::string::npos);
+}
+
+TEST(Migration, RepeatedMigrationsStayConsistent) {
+  Rig rig;
+  ASSERT_TRUE(rig.report.ok);
+  map::Migrator migrator(rig.net, rig.report.placement,
+                         small_system().mapper);
+  rig.sys.run(30 * kMillisecond);
+  for (int round = 0; round < 3; ++round) {
+    const auto mig = migrator.migrate(rig.sys.machine(), rig.core_of(rig.dst));
+    ASSERT_TRUE(mig.ok) << "round " << round << ": " << mig.error;
+    rig.sys.run(30 * kMillisecond);
+  }
+  const std::size_t spikes = rig.dst_spikes();
+  EXPECT_GT(spikes, 0u);
+}
+
+}  // namespace
+}  // namespace spinn

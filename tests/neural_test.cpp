@@ -1,0 +1,272 @@
+// Tests for the neural substrate: LIF/Izhikevich dynamics in fixed point,
+// the deferred-event input ring (§3.2), synapse packing and the network
+// builder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "neural/input_ring.hpp"
+#include "neural/network.hpp"
+#include "neural/neuron_models.hpp"
+#include "neural/synapse.hpp"
+
+namespace spinn::neural {
+namespace {
+
+// ---- LIF -------------------------------------------------------------------
+
+TEST(Lif, RestingNeuronStaysAtRest) {
+  LifSlice slice(4, LifParams{});
+  std::vector<Accum> input(4, Accum{});
+  std::vector<std::uint32_t> spikes;
+  for (int t = 0; t < 100; ++t) slice.update(input, spikes);
+  EXPECT_TRUE(spikes.empty());
+  EXPECT_NEAR(slice.membrane(0).to_double(), -65.0, 0.1);
+}
+
+TEST(Lif, StrongInputCausesSpikeAndReset) {
+  LifParams p;
+  LifSlice slice(1, p);
+  std::vector<Accum> input{Accum::from_double(30.0)};
+  std::vector<std::uint32_t> spikes;
+  slice.update(input, spikes);
+  ASSERT_EQ(spikes.size(), 1u);
+  EXPECT_EQ(spikes[0], 0u);
+  EXPECT_NEAR(slice.membrane(0).to_double(), p.v_reset.to_double(), 1e-3);
+}
+
+TEST(Lif, RefractoryPeriodSuppressesFiring) {
+  LifParams p;
+  p.refractory_ticks = 3;
+  LifSlice slice(1, p);
+  std::vector<Accum> input{Accum::from_double(30.0)};
+  std::vector<std::uint32_t> spikes;
+  slice.update(input, spikes);
+  ASSERT_EQ(spikes.size(), 1u);
+  // The next 3 ticks are refractory no matter the drive.
+  for (int t = 0; t < 3; ++t) {
+    spikes.clear();
+    slice.update(input, spikes);
+    EXPECT_TRUE(spikes.empty()) << "tick " << t;
+  }
+  spikes.clear();
+  slice.update(input, spikes);
+  EXPECT_EQ(spikes.size(), 1u) << "fires again after refractory";
+}
+
+TEST(Lif, MembraneDecaysTowardsRest) {
+  LifParams p;
+  LifSlice slice(1, p);
+  slice.set_membrane(0, Accum::from_double(-55.0));
+  std::vector<Accum> input(1, Accum{});
+  std::vector<std::uint32_t> spikes;
+  double prev_distance = 10.0;
+  for (int t = 0; t < 20; ++t) {
+    slice.update(input, spikes);
+    const double distance =
+        std::abs(slice.membrane(0).to_double() - p.v_rest.to_double());
+    EXPECT_LT(distance, prev_distance + 1e-6);
+    prev_distance = distance;
+  }
+  EXPECT_LT(prev_distance, 2.0);
+}
+
+TEST(Lif, FixedPointTracksDoubleReference) {
+  // Integrate the same trajectory in double precision; S16.15 should track
+  // within a few LSB-equivalents across 50 ms.
+  LifParams p;
+  LifSlice slice(1, p);
+  double v_ref = p.v_rest.to_double();
+  const double decay = p.decay.to_double();
+  const double in = 1.0;  // steady state ~ -54.5 mV: stays sub-threshold
+  std::vector<Accum> input{Accum::from_double(in)};
+  std::vector<std::uint32_t> spikes;
+  for (int t = 0; t < 50; ++t) {
+    slice.update(input, spikes);
+    v_ref = p.v_rest.to_double() + (v_ref - p.v_rest.to_double()) * decay + in;
+  }
+  EXPECT_TRUE(spikes.empty());
+  EXPECT_NEAR(slice.membrane(0).to_double(), v_ref, 0.05);
+}
+
+// ---- Izhikevich --------------------------------------------------------------
+
+TEST(Izhikevich, RestingNeuronIsQuiet) {
+  IzhSlice slice(1, IzhParams{});
+  std::vector<Accum> input(1, Accum{});
+  std::vector<std::uint32_t> spikes;
+  for (int t = 0; t < 200; ++t) slice.update(input, spikes);
+  EXPECT_TRUE(spikes.empty());
+}
+
+TEST(Izhikevich, ToniceSpikingUnderCurrent) {
+  IzhSlice slice(1, IzhParams{});
+  std::vector<Accum> input{Accum::from_double(10.0)};
+  std::vector<std::uint32_t> spikes;
+  for (int t = 0; t < 500; ++t) slice.update(input, spikes);
+  // Regular-spiking cell at I=10 fires repeatedly (~5-30 Hz-ish here).
+  EXPECT_GE(spikes.size(), 3u);
+  EXPECT_LE(spikes.size(), 200u);
+}
+
+TEST(Izhikevich, ResetAfterSpike) {
+  IzhParams p;
+  IzhSlice slice(1, p);
+  std::vector<Accum> input{Accum::from_double(20.0)};
+  std::vector<std::uint32_t> spikes;
+  int guard = 0;
+  while (spikes.empty() && guard++ < 1000) slice.update(input, spikes);
+  ASSERT_FALSE(spikes.empty());
+  EXPECT_LE(slice.membrane(0).to_double(), p.c.to_double() + 25.0)
+      << "v must have been reset from the +30 mV peak";
+}
+
+// ---- input ring (deferred events, §3.2) --------------------------------------
+
+TEST(InputRing, DeliversAtExactDelay) {
+  InputRing ring(4);
+  ring.add(/*current_tick=*/10, /*neuron=*/2, /*delay=*/5,
+           Accum::from_double(1.5));
+  // Nothing before tick 15.
+  for (std::uint32_t t = 11; t < 15; ++t) {
+    const auto& slot = ring.drain(t);
+    EXPECT_DOUBLE_EQ(slot[2].to_double(), 0.0) << "tick " << t;
+  }
+  const auto& slot = ring.drain(15);
+  EXPECT_DOUBLE_EQ(slot[2].to_double(), 1.5);
+}
+
+TEST(InputRing, AccumulatesMultipleArrivals) {
+  InputRing ring(2);
+  ring.add(0, 0, 3, Accum::from_double(1.0));
+  ring.add(1, 0, 2, Accum::from_double(2.0));  // same arrival tick: 3
+  const auto& slot = ring.drain(3);
+  EXPECT_DOUBLE_EQ(slot[0].to_double(), 3.0);
+}
+
+TEST(InputRing, DrainClearsSlotForReuse) {
+  InputRing ring(1);
+  ring.add(0, 0, 1, Accum::from_double(1.0));
+  EXPECT_DOUBLE_EQ(ring.drain(1)[0].to_double(), 1.0);
+  // 16 ticks later the same physical slot must be clean.
+  ring.add(16, 0, 1, Accum::from_double(0.25));
+  EXPECT_DOUBLE_EQ(ring.drain(17)[0].to_double(), 0.25);
+}
+
+TEST(InputRing, DelayClampedToFourBitRange) {
+  InputRing ring(1);
+  ring.add(0, 0, /*delay=*/200, Accum::from_double(1.0));  // clamps to 15
+  EXPECT_DOUBLE_EQ(ring.drain(15)[0].to_double(), 1.0);
+  ring.add(20, 0, /*delay=*/0, Accum::from_double(1.0));  // clamps to 1
+  EXPECT_DOUBLE_EQ(ring.drain(21)[0].to_double(), 1.0);
+}
+
+TEST(InputRing, DtcmCostIsSixteenWordsPerNeuron) {
+  // §3.2 calls the delay storage "one of the most expensive functions of
+  // the neuron models in terms of the cost of data storage".
+  InputRing ring(256);
+  EXPECT_EQ(ring.dtcm_bytes(), 256u * 16u * 4u);
+}
+
+/// Property sweep: any (delay, tick) combination delivers exactly once.
+class RingDelayTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingDelayTest, ExactlyOnceDelivery) {
+  const auto delay = static_cast<std::uint8_t>(GetParam());
+  InputRing ring(1);
+  const std::uint32_t start = 7;
+  ring.add(start, 0, delay, Accum::from_double(1.0));
+  int deliveries = 0;
+  for (std::uint32_t t = start + 1; t < start + 17; ++t) {
+    if (ring.drain(t)[0].to_double() != 0.0) {
+      ++deliveries;
+      EXPECT_EQ(t, start + delay);
+    }
+  }
+  EXPECT_EQ(deliveries, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDelays, RingDelayTest, ::testing::Range(1, 16));
+
+// ---- synapses ----------------------------------------------------------------
+
+TEST(Synapse, WeightPackingRoundTrip) {
+  for (double w = 0.0; w < 200.0; w += 7.3) {
+    Synapse s;
+    s.weight_raw = Synapse::pack_weight(w);
+    EXPECT_NEAR(s.weight().to_double(), w, 1.0 / 256.0 + 1e-9) << w;
+  }
+}
+
+TEST(Synapse, InhibitoryWeightsAreNegative) {
+  Synapse s;
+  s.weight_raw = Synapse::pack_weight(2.0);
+  s.inhibitory = true;
+  EXPECT_DOUBLE_EQ(s.weight().to_double(), -2.0);
+}
+
+TEST(Synapse, RowBytesMatchWireFormat) {
+  SynapticRow row;
+  row.synapses.resize(10);
+  EXPECT_EQ(row.bytes(), 4u + 40u);
+}
+
+TEST(RowStore, FindAndAccounting) {
+  RowStore store;
+  store.row_for(100).synapses.resize(3);
+  store.row_for(200).synapses.resize(5);
+  EXPECT_EQ(store.num_rows(), 2u);
+  ASSERT_NE(store.find(100), nullptr);
+  EXPECT_EQ(store.find(100)->synapses.size(), 3u);
+  EXPECT_EQ(store.find(999), nullptr);
+  EXPECT_EQ(store.total_bytes(), (4 + 12) + (4 + 20u));
+}
+
+// ---- network builder ---------------------------------------------------------
+
+TEST(Network, BuilderAssignsIds) {
+  Network net;
+  const auto a = net.add_lif("a", 100);
+  const auto b = net.add_poisson("b", 50, 10.0);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(net.population(a).name, "a");
+  EXPECT_EQ(net.population(b).model, NeuronModel::PoissonSource);
+  EXPECT_EQ(net.total_neurons(), 150u);
+}
+
+TEST(Network, ConnectRecordsProjection) {
+  Network net;
+  const auto a = net.add_lif("a", 10);
+  const auto b = net.add_lif("b", 10);
+  net.connect(a, b, Connector::fixed_probability(0.5),
+              ValueDist::fixed(1.0), ValueDist::uniform(1.0, 4.0), true);
+  ASSERT_EQ(net.projections().size(), 1u);
+  const Projection& p = net.projections()[0];
+  EXPECT_EQ(p.pre, a);
+  EXPECT_EQ(p.post, b);
+  EXPECT_TRUE(p.inhibitory);
+  EXPECT_EQ(p.connector.kind, ConnectorKind::FixedProbability);
+}
+
+TEST(Network, SpikeSourceScheduleStored) {
+  Network net;
+  const auto s = net.add_spike_source("in", {{1, 5, 9}, {2}});
+  EXPECT_EQ(net.population(s).size, 2u);
+  EXPECT_EQ(net.population(s).spike_schedule[0].size(), 3u);
+}
+
+TEST(ValueDist, FixedAndUniform) {
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(ValueDist::fixed(2.5).sample(rng), 2.5);
+  const ValueDist u = ValueDist::uniform(1.0, 3.0);
+  for (int i = 0; i < 100; ++i) {
+    const double v = u.sample(rng);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace spinn::neural

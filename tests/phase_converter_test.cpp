@@ -1,0 +1,122 @@
+// Tests for the Fig. 6 phase-converter models: the conventional XOR circuit
+// loses handshake tokens under glitches, the transition-sensing circuit
+// converts them into (recoverable) data errors.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "link/phase_converter.hpp"
+
+namespace spinn::link {
+namespace {
+
+TEST(Conventional, CleanTransitionsAlwaysEvent) {
+  PhaseConverter pc(PhaseConverter::Kind::ConventionalXor);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(pc.on_transition(), PhaseConverter::Outcome::Event);
+  }
+}
+
+TEST(Conventional, RefCorruptSwallowsNextTransition) {
+  Rng rng(1);
+  PhaseConverter pc(PhaseConverter::Kind::ConventionalXor);
+  // Force glitches until one corrupts the reference.
+  bool corrupted = false;
+  for (int i = 0; i < 1000 && !corrupted; ++i) {
+    corrupted = pc.on_glitch(rng) == PhaseConverter::Outcome::RefCorrupt;
+  }
+  ASSERT_TRUE(corrupted) << "30% outcome never hit in 1000 draws?";
+  // The next genuine transition disappears — this is the deadlock seed.
+  EXPECT_EQ(pc.on_transition(), PhaseConverter::Outcome::Missed);
+  // And the one after that is visible again (wire/reference re-aligned).
+  EXPECT_EQ(pc.on_transition(), PhaseConverter::Outcome::Event);
+}
+
+TEST(Conventional, GlitchOutcomeDistribution) {
+  Rng rng(7);
+  PhaseConverter pc(PhaseConverter::Kind::ConventionalXor);
+  int absorbed = 0, event = 0, corrupt = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    switch (pc.on_glitch(rng)) {
+      case PhaseConverter::Outcome::Absorbed:
+        ++absorbed;
+        break;
+      case PhaseConverter::Outcome::Event:
+        ++event;
+        break;
+      case PhaseConverter::Outcome::RefCorrupt:
+        ++corrupt;
+        break;
+      default:
+        FAIL() << "unexpected outcome";
+    }
+  }
+  EXPECT_NEAR(absorbed / static_cast<double>(n), 0.4, 0.02);
+  EXPECT_NEAR(event / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(corrupt / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(TransitionSensing, NeverMissesGenuineTransitionsWhenArmed) {
+  PhaseConverter pc(PhaseConverter::Kind::TransitionSensing);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(pc.on_transition(), PhaseConverter::Outcome::Event);
+  }
+}
+
+TEST(TransitionSensing, GateBlocksEverything) {
+  Rng rng(3);
+  PhaseConverter pc(PhaseConverter::Kind::TransitionSensing);
+  pc.disarm();
+  EXPECT_FALSE(pc.armed());
+  // "ignores further transitions on its data input until it is re-enabled"
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(pc.on_transition(), PhaseConverter::Outcome::Absorbed);
+    EXPECT_EQ(pc.on_glitch(rng), PhaseConverter::Outcome::Absorbed);
+  }
+  pc.rearm();
+  EXPECT_EQ(pc.on_transition(), PhaseConverter::Outcome::Event);
+}
+
+TEST(TransitionSensing, ArmedGlitchBecomesDataNotTokenLoss) {
+  Rng rng(5);
+  PhaseConverter pc(PhaseConverter::Kind::TransitionSensing);
+  for (int i = 0; i < 1000; ++i) {
+    const auto out = pc.on_glitch(rng);
+    EXPECT_EQ(out, PhaseConverter::Outcome::Event);
+    EXPECT_NE(out, PhaseConverter::Outcome::RefCorrupt);
+    EXPECT_NE(out, PhaseConverter::Outcome::Missed);
+  }
+}
+
+TEST(TransitionSensing, NoPhaseMemoryAcrossGlitches) {
+  Rng rng(9);
+  PhaseConverter pc(PhaseConverter::Kind::TransitionSensing);
+  // However many glitches hit, a genuine transition still produces an event
+  // (phase parity is irrelevant to a true edge detector).
+  for (int i = 0; i < 200; ++i) {
+    pc.on_glitch(rng);
+    EXPECT_EQ(pc.on_transition(), PhaseConverter::Outcome::Event);
+  }
+}
+
+TEST(Reset, RealignsConventionalPhase) {
+  Rng rng(11);
+  PhaseConverter pc(PhaseConverter::Kind::ConventionalXor);
+  // Corrupt the reference...
+  while (pc.on_glitch(rng) != PhaseConverter::Outcome::RefCorrupt) {
+  }
+  pc.reset();
+  // ...after reset the next genuine transition is seen again.
+  EXPECT_EQ(pc.on_transition(), PhaseConverter::Outcome::Event);
+}
+
+TEST(Reset, RearmsTransitionSensingGate) {
+  PhaseConverter pc(PhaseConverter::Kind::TransitionSensing);
+  pc.disarm();
+  pc.reset();
+  EXPECT_TRUE(pc.armed());
+  EXPECT_EQ(pc.on_transition(), PhaseConverter::Outcome::Event);
+}
+
+}  // namespace
+}  // namespace spinn::link

@@ -1,0 +1,206 @@
+// Tests for the §5.4 retina model: DoG receptive fields, rank-order coding,
+// lateral inhibition, and graceful degradation under neuron loss.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "neural/retina.hpp"
+
+namespace spinn::neural {
+namespace {
+
+RetinaConfig test_config() {
+  RetinaConfig cfg;
+  cfg.scales = {1.0, 2.0};
+  return cfg;
+}
+
+TEST(Image, Generators) {
+  const Image blob = make_gaussian_blob(16, 8.0, 8.0, 2.0);
+  EXPECT_EQ(blob.width, 16);
+  EXPECT_NEAR(blob.at(8, 8), 1.0, 0.01);
+  EXPECT_LT(blob.at(0, 0), 0.01);
+
+  const Image bars = make_bars(16, 4);
+  EXPECT_DOUBLE_EQ(bars.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(bars.at(4, 0), 0.0);
+
+  const Image check = make_checkerboard(16, 4);
+  EXPECT_DOUBLE_EQ(check.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(check.at(4, 0), 0.0);
+  EXPECT_DOUBLE_EQ(check.at(4, 4), 1.0);
+}
+
+TEST(Retina, TilesBothPolaritiesAtEveryScale) {
+  const Retina retina(32, test_config());
+  ASSERT_GT(retina.num_ganglia(), 0u);
+  int on = 0, off = 0;
+  for (const Ganglion& g : retina.ganglia()) {
+    (g.off_centre ? off : on)++;
+  }
+  EXPECT_EQ(on, off) << "paired ON/OFF pathways";
+}
+
+TEST(Retina, OnCentreRespondsToBrightBlob) {
+  const Retina retina(32, test_config());
+  const Image blob = make_gaussian_blob(32, 16.0, 16.0, 2.0);
+  // Find the ON-centre ganglion closest to the blob.
+  double best_r = 0.0;
+  double best_off_r = 0.0;
+  for (const Ganglion& g : retina.ganglia()) {
+    const double dx = g.x - 16.0, dy = g.y - 16.0;
+    if (dx * dx + dy * dy < 4.0) {
+      const double r = retina.response(g, blob);
+      if (g.off_centre) {
+        best_off_r = std::min(best_off_r, r);
+      } else {
+        best_r = std::max(best_r, r);
+      }
+    }
+  }
+  EXPECT_GT(best_r, 0.01) << "ON cell at blob centre responds positively";
+  EXPECT_LT(best_off_r, 0.0) << "OFF cell at blob centre is suppressed";
+}
+
+TEST(Retina, UniformFieldElicitsNoResponse) {
+  const Retina retina(32, test_config());
+  Image flat{32, 32, std::vector<double>(32 * 32, 0.7)};
+  const auto volley = retina.encode(flat);
+  EXPECT_TRUE(volley.empty())
+      << "DoG filters are zero-sum: uniform input cancels";
+}
+
+TEST(Retina, VolleyIsRankOrdered) {
+  const Retina retina(32, test_config());
+  const Image img = make_gaussian_blob(32, 12.0, 20.0, 3.0);
+  const auto volley = retina.encode(img);
+  ASSERT_GT(volley.size(), 3u);
+  for (std::size_t i = 1; i < volley.size(); ++i) {
+    EXPECT_LE(volley[i - 1].latency_ms, volley[i].latency_ms);
+  }
+  // Strongest response fires first.
+  EXPECT_GE(volley.front().response, volley.back().response);
+}
+
+TEST(Retina, LateralInhibitionReducesRedundantSpikes) {
+  RetinaConfig with = test_config();
+  RetinaConfig without = test_config();
+  without.inhibition = 0.0;
+  const Retina r_with(32, with);
+  const Retina r_without(32, without);
+  const Image img = make_gaussian_blob(32, 16.0, 16.0, 4.0);
+  // Inhibition attenuates overlapping neighbours below threshold, so the
+  // same stimulus yields fewer (or equal) spikes.
+  EXPECT_LE(r_with.encode(img).size(), r_without.encode(img).size());
+}
+
+TEST(Retina, DecodeReconstructsStimulus) {
+  const Retina retina(32, test_config());
+  const Image img = make_gaussian_blob(32, 16.0, 16.0, 3.0);
+  const auto volley = retina.encode(img);
+  const Image rec = retina.decode(volley, 10'000);
+  EXPECT_GT(image_correlation(img, rec), 0.5)
+      << "rank-order decode should resemble the stimulus";
+}
+
+TEST(Retina, FirstSpikesCarryMostInformation) {
+  // Rank-order coding's point (ref [20]): a prefix of the volley already
+  // reconstructs well.
+  const Retina retina(32, test_config());
+  const Image img = make_gaussian_blob(32, 16.0, 16.0, 3.0);
+  const auto volley = retina.encode(img);
+  ASSERT_GT(volley.size(), 10u);
+  const double full = image_correlation(img, retina.decode(volley, 10'000));
+  const double prefix = image_correlation(
+      img, retina.decode(volley, static_cast<int>(volley.size() / 4)));
+  EXPECT_GT(prefix, 0.6 * full);
+}
+
+TEST(Retina, KillFractionMarksGanglia) {
+  Retina retina(32, test_config());
+  Rng rng(5);
+  retina.kill_fraction(0.3, rng);
+  int dead = 0;
+  for (const Ganglion& g : retina.ganglia()) {
+    if (g.dead) ++dead;
+  }
+  const double frac = dead / static_cast<double>(retina.num_ganglia());
+  EXPECT_NEAR(frac, 0.3, 0.1);
+  retina.revive_all();
+  for (const Ganglion& g : retina.ganglia()) EXPECT_FALSE(g.dead);
+}
+
+TEST(Retina, DeadGangliaNeverFire) {
+  Retina retina(32, test_config());
+  Rng rng(5);
+  retina.kill_fraction(0.5, rng);
+  const Image img = make_gaussian_blob(32, 16.0, 16.0, 3.0);
+  for (const RetinaSpike& s : retina.encode(img)) {
+    EXPECT_FALSE(retina.ganglia()[s.ganglion].dead);
+  }
+}
+
+TEST(Retina, GracefulDegradationUnderNeuronLoss) {
+  // §5.4: "If a neuron fails ... a near-neighbour with a similar receptive
+  // field will take over and very little information will be lost."
+  const Image img = make_gaussian_blob(32, 16.0, 16.0, 3.0);
+  Rng rng(7);
+
+  Retina intact(32, test_config());
+  const double corr_intact =
+      image_correlation(img, intact.decode(intact.encode(img), 10'000));
+
+  Retina lesioned(32, test_config());
+  lesioned.kill_fraction(0.2, rng);
+  const double corr_20 = image_correlation(
+      img, lesioned.decode(lesioned.encode(img), 10'000));
+
+  Retina heavy(32, test_config());
+  heavy.kill_fraction(0.6, rng);
+  const double corr_60 =
+      image_correlation(img, heavy.decode(heavy.encode(img), 10'000));
+
+  // 20% loss barely dents reconstruction; 60% hurts more but does not
+  // zero it: degradation is graceful, not cliff-edged.
+  EXPECT_GT(corr_20, 0.8 * corr_intact);
+  EXPECT_GT(corr_60, 0.3 * corr_intact);
+  EXPECT_LE(corr_60, corr_intact + 0.05);
+}
+
+TEST(RankOrder, IdenticalVolleysScoreOne) {
+  const Retina retina(32, test_config());
+  const Image img = make_bars(32, 8);
+  const auto volley = retina.encode(img);
+  ASSERT_GT(volley.size(), 2u);
+  EXPECT_NEAR(rank_order_similarity(volley, volley, 50), 1.0, 1e-9);
+}
+
+TEST(RankOrder, DisjointVolleysScoreZero) {
+  std::vector<RetinaSpike> a{{0, 1.0, 1.0}, {1, 2.0, 0.5}};
+  std::vector<RetinaSpike> b{{10, 1.0, 1.0}, {11, 2.0, 0.5}};
+  EXPECT_DOUBLE_EQ(rank_order_similarity(a, b, 10), 0.0);
+}
+
+TEST(RankOrder, DifferentStimuliProduceDifferentCodes) {
+  const Retina retina(32, test_config());
+  const auto v1 = retina.encode(make_gaussian_blob(32, 8.0, 8.0, 3.0));
+  const auto v2 = retina.encode(make_gaussian_blob(32, 24.0, 24.0, 3.0));
+  ASSERT_GT(v1.size(), 2u);
+  ASSERT_GT(v2.size(), 2u);
+  EXPECT_LT(rank_order_similarity(v1, v2, 30), 0.5);
+}
+
+TEST(RankOrder, ModerateLesionPreservesCodePrefix) {
+  const Image img = make_gaussian_blob(32, 16.0, 16.0, 3.0);
+  Retina retina(32, test_config());
+  const auto before = retina.encode(img);
+  Rng rng(11);
+  retina.kill_fraction(0.1, rng);
+  const auto after = retina.encode(img);
+  EXPECT_GT(rank_order_similarity(before, after, 30), 0.4);
+}
+
+}  // namespace
+}  // namespace spinn::neural
