@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "harness.hpp"
 #include "map/routing_gen.hpp"
 #include "mesh/machine.hpp"
 #include "sim/simulator.hpp"
@@ -67,36 +68,50 @@ Row measure(int populations, bool compress, bool minimize) {
 
 }  // namespace
 
-int main() {
-  std::printf("A1: routing-table pressure vs mapper features (12x12 "
-              "machine, 1024-entry CAM per router)\n\n");
-  std::printf("%-14s %-24s %12s %14s %14s %10s\n", "populations",
-              "configuration", "entries", "max per chip", "saved by DR",
-              "fits CAM?");
-  for (const int pops : {12, 24, 48, 96}) {
-    struct Config {
-      const char* name;
-      bool compress;
-      bool minimize;
-    };
-    const Config configs[] = {
-        {"naive (no DR, no min)", false, false},
-        {"default-route only", true, false},
-        {"minimise only", false, true},
-        {"both (shipped default)", true, true},
-    };
-    for (const Config& c : configs) {
-      const Row r = measure(pops, c.compress, c.minimize);
-      std::printf("%-14d %-24s %12llu %14zu %14llu %10s\n", pops, c.name,
-                  static_cast<unsigned long long>(r.total), r.max_per_chip,
-                  static_cast<unsigned long long>(r.saved),
-                  r.overflow ? "NO" : "yes");
+int main(int argc, char** argv) {
+  spinn::bench::Harness h("bench_a01_table_compression", argc, argv);
+  double naive_max_per_chip = 0.0;
+  double shipped_max_per_chip = 0.0;
+  h.run("mapper_sweep", [&] {
+    std::printf("A1: routing-table pressure vs mapper features (12x12 "
+                "machine, 1024-entry CAM per router)\n\n");
+    std::printf("%-14s %-24s %12s %14s %14s %10s\n", "populations",
+                "configuration", "entries", "max per chip", "saved by DR",
+                "fits CAM?");
+    for (const int pops : {12, 24, 48, 96}) {
+      struct Config {
+        const char* name;
+        bool compress;
+        bool minimize;
+      };
+      const Config configs[] = {
+          {"naive (no DR, no min)", false, false},
+          {"default-route only", true, false},
+          {"minimise only", false, true},
+          {"both (shipped default)", true, true},
+      };
+      for (const Config& c : configs) {
+        const Row r = measure(pops, c.compress, c.minimize);
+        if (pops == 96 && !c.compress && !c.minimize) {
+          naive_max_per_chip = static_cast<double>(r.max_per_chip);
+        }
+        if (pops == 96 && c.compress && c.minimize) {
+          shipped_max_per_chip = static_cast<double>(r.max_per_chip);
+        }
+        std::printf("%-14d %-24s %12llu %14zu %14llu %10s\n", pops, c.name,
+                    static_cast<unsigned long long>(r.total), r.max_per_chip,
+                    static_cast<unsigned long long>(r.saved),
+                    r.overflow ? "NO" : "yes");
+      }
+      std::printf("\n");
     }
-    std::printf("\n");
-  }
-  std::printf("Default routing elides entries on straight-through chips; "
-              "key/mask minimisation folds sibling\nslices with identical "
-              "routes.  Together they are what lets a 1024-entry CAM route "
-              "thousands of\npopulation slices (§4, §5.3).\n");
-  return 0;
+    std::printf("Default routing elides entries on straight-through chips; "
+                "key/mask minimisation folds sibling\nslices with identical "
+                "routes.  Together they are what lets a 1024-entry CAM route "
+                "thousands of\npopulation slices (§4, §5.3).\n");
+  });
+  h.metric("naive_max_entries_per_chip_96pop", naive_max_per_chip, "entries");
+  h.metric("shipped_max_entries_per_chip_96pop", shipped_max_per_chip,
+           "entries");
+  return h.finish();
 }

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/system.hpp"
+#include "harness.hpp"
 
 namespace {
 
@@ -67,13 +68,16 @@ Outcome run(bool scatter) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  spinn::bench::Harness h("bench_a02_placement", argc, argv);
+  Outcome packed;
+  Outcome scattered;
+  h.run("packed", [&] { packed = run(false); });
+  h.run("scattered", [&] { scattered = run(true); });
+
   std::printf("A2: placement ablation — proximal (packed) vs scattered "
               "mapping of the same 4-layer network\n    on a 6x6 machine "
               "(§3.2 virtualised topology)\n\n");
-  const Outcome packed = run(false);
-  const Outcome scattered = run(true);
-
   std::printf("%-26s %14s %14s %10s\n", "metric", "packed", "scattered",
               "ratio");
   auto row = [](const char* name, double a, double b) {
@@ -98,5 +102,13 @@ int main() {
               "physical and logical connectivity are decoupled;\nproximity "
               "is an optimisation, not a correctness requirement.\n",
               packed.spikes, scattered.spikes);
-  return 0;
+  h.metric("scatter_vs_packed_hops_x",
+           packed.inter_chip_packets > 0
+               ? static_cast<double>(scattered.inter_chip_packets) /
+                     static_cast<double>(packed.inter_chip_packets)
+               : 0.0);
+  h.metric("scatter_vs_packed_fabric_energy_x",
+           packed.fabric_mj > 0 ? scattered.fabric_mj / packed.fabric_mj
+                                : 0.0);
+  return h.finish();
 }

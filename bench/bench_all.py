@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Run every bench binary and aggregate the results into BENCH_<commit>.json.
+
+Invoked by the `bench-all` CMake target.  Harness benches (bench/harness.hpp)
+are run with `--json <tmp> --quiet`; the google-benchmark micro suite is run
+with its native JSON reporter and folded into the same schema (its per-bench
+real_time becomes a section, counters become metrics).  The output file is
+
+    {"schema": 1, "commit": ..., "generated_utc": ..., "benches": [...]}
+
+with exactly one entry per bench binary, so successive commits' files diff
+cleanly and future perf PRs have a baseline to beat.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+
+MICRO_BENCH = "bench_micro"
+
+
+def discover_harness_benches(bin_dir):
+    """All built bench_* binaries except the google-benchmark micro suite.
+
+    Discovered from the build tree rather than hand-listed so this script
+    can never drift from bench/CMakeLists.txt: a bench that builds is a
+    bench that gets aggregated.
+    """
+    names = []
+    for entry in sorted(os.listdir(bin_dir)):
+        path = os.path.join(bin_dir, entry)
+        if (entry.startswith("bench_") and entry != MICRO_BENCH
+                and os.path.isfile(path) and os.access(path, os.X_OK)):
+            names.append(entry)
+    return names
+
+
+def git_commit(source_dir):
+    try:
+        out = subprocess.run(
+            ["git", "-C", source_dir, "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def run_harness_bench(bin_path, json_path, reps, warmup):
+    cmd = [bin_path, "--json", json_path, "--quiet",
+           "--reps", str(reps), "--warmup", str(warmup)]
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    with open(json_path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def run_micro_bench(bin_path, json_path):
+    cmd = [bin_path,
+           f"--benchmark_out={json_path}",
+           "--benchmark_out_format=json",
+           "--benchmark_min_time=0.05"]
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    with open(json_path, encoding="utf-8") as f:
+        raw = json.load(f)
+    sections = []
+    metrics = []
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        ns = float(b["real_time"])  # time_unit below converts if needed
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit, 1.0)
+        ns *= scale
+        sections.append({
+            "name": b["name"],
+            "reps": int(b.get("iterations", 0)),
+            "warmup": 0,
+            "ns_min": ns,
+            "ns_mean": ns,
+            "ns_max": ns,
+        })
+        if "items_per_second" in b:
+            metrics.append({
+                "name": f"{b['name']}/items_per_second",
+                "unit": "1/s",
+                "value": float(b["items_per_second"]),
+            })
+    return {"bench": MICRO_BENCH, "sections": sections, "metrics": metrics}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--bin-dir", required=True,
+                        help="directory holding the bench binaries")
+    parser.add_argument("--out-dir", required=True,
+                        help="directory to write BENCH_<commit>.json into")
+    parser.add_argument("--source-dir", required=True,
+                        help="repo root, used to resolve the commit hash")
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument("--warmup", type=int, default=1)
+    args = parser.parse_args()
+
+    tmp_dir = os.path.join(args.out_dir, "bench_json")
+    os.makedirs(tmp_dir, exist_ok=True)
+
+    harness_benches = discover_harness_benches(args.bin_dir)
+    if not harness_benches:
+        print(f"[bench-all] no bench_* binaries in {args.bin_dir}",
+              file=sys.stderr)
+        return 1
+
+    benches = []
+    failures = []
+    for name in harness_benches:
+        bin_path = os.path.join(args.bin_dir, name)
+        print(f"[bench-all] {name}", flush=True)
+        try:
+            benches.append(run_harness_bench(
+                bin_path, os.path.join(tmp_dir, name + ".json"),
+                args.reps, args.warmup))
+        except (subprocess.CalledProcessError, OSError, ValueError) as e:
+            failures.append(f"{name}: {e}")
+
+    micro_path = os.path.join(args.bin_dir, MICRO_BENCH)
+    if os.path.exists(micro_path):
+        print(f"[bench-all] {MICRO_BENCH}", flush=True)
+        try:
+            benches.append(run_micro_bench(
+                micro_path, os.path.join(tmp_dir, MICRO_BENCH + ".json")))
+        except (subprocess.CalledProcessError, OSError, ValueError) as e:
+            failures.append(f"{MICRO_BENCH}: {e}")
+    else:
+        print(f"[bench-all] skipping {MICRO_BENCH} (not built)", flush=True)
+
+    commit = git_commit(args.source_dir)
+    out = {
+        "schema": 1,
+        "commit": commit,
+        "generated_utc":
+            datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "benches": benches,
+    }
+    out_path = os.path.join(args.out_dir, f"BENCH_{commit}.json")
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"[bench-all] wrote {out_path} ({len(benches)} benches)")
+
+    if failures:
+        for msg in failures:
+            print(f"[bench-all] FAILED {msg}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

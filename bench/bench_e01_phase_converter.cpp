@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <string>
 
+#include "harness.hpp"
 #include "link/glitch_link.hpp"
 
 namespace {
@@ -57,47 +58,53 @@ Outcome measure(PhaseConverter::Kind kind, double rate_hz, int trials,
 
 }  // namespace
 
-int main() {
-  std::printf("E1: glitch-induced deadlock — conventional XOR vs Fig. 6 "
-              "transition-sensing phase converter\n");
-  std::printf("Paper claim: transition sensing reduces deadlocks by ~x1000 "
-              "and keeps passing data (with errors).\n\n");
-  std::printf("%-14s %22s %22s %12s %16s\n", "glitch rate", "conventional",
-              "transition-sensing", "reduction", "sensing errors");
-  std::printf("%-14s %22s %22s %12s %16s\n", "(Hz/wire)",
-              "(deadlocks/Msym)", "(deadlocks/Msym)", "(x)", "(% symbols)");
+int main(int argc, char** argv) {
+  spinn::bench::Harness h("bench_e01_phase_converter", argc, argv);
+  double mean_reduction = 0.0;
+  h.run("glitch_sweep", [&] {
+    std::printf("E1: glitch-induced deadlock — conventional XOR vs Fig. 6 "
+                "transition-sensing phase converter\n");
+    std::printf("Paper claim: transition sensing reduces deadlocks by ~x1000 "
+                "and keeps passing data (with errors).\n\n");
+    std::printf("%-14s %22s %22s %12s %16s\n", "glitch rate", "conventional",
+                "transition-sensing", "reduction", "sensing errors");
+    std::printf("%-14s %22s %22s %12s %16s\n", "(Hz/wire)",
+                "(deadlocks/Msym)", "(deadlocks/Msym)", "(x)", "(% symbols)");
 
-  const int trials = 60;
-  const std::uint64_t symbols = 20'000;
-  double ratio_sum = 0.0;
-  int ratio_count = 0;
-  for (const double rate : {1e5, 3e5, 1e6, 3e6, 1e7}) {
-    const Outcome conv =
-        measure(PhaseConverter::Kind::ConventionalXor, rate, trials, symbols);
-    const Outcome sens = measure(PhaseConverter::Kind::TransitionSensing,
-                                 rate, trials, symbols);
-    const double ratio = sens.deadlocks_per_msymbol > 0
-                             ? conv.deadlocks_per_msymbol /
-                                   sens.deadlocks_per_msymbol
-                             : 0.0;
-    if (ratio > 0) {
-      ratio_sum += ratio;
-      ++ratio_count;
+    const int trials = 60;
+    const std::uint64_t symbols = 20'000;
+    double ratio_sum = 0.0;
+    int ratio_count = 0;
+    for (const double rate : {1e5, 3e5, 1e6, 3e6, 1e7}) {
+      const Outcome conv = measure(PhaseConverter::Kind::ConventionalXor,
+                                   rate, trials, symbols);
+      const Outcome sens = measure(PhaseConverter::Kind::TransitionSensing,
+                                   rate, trials, symbols);
+      const double ratio = sens.deadlocks_per_msymbol > 0
+                               ? conv.deadlocks_per_msymbol /
+                                     sens.deadlocks_per_msymbol
+                               : 0.0;
+      if (ratio > 0) {
+        ratio_sum += ratio;
+        ++ratio_count;
+      }
+      std::printf("%-14.0f %22.2f %22.3f %12s %16.2f\n", rate,
+                  conv.deadlocks_per_msymbol, sens.deadlocks_per_msymbol,
+                  ratio > 0 ? std::to_string(static_cast<long>(ratio)).c_str()
+                            : ">measured",
+                  sens.corrupt_percent);
     }
-    std::printf("%-14.0f %22.2f %22.3f %12s %16.2f\n", rate,
-                conv.deadlocks_per_msymbol, sens.deadlocks_per_msymbol,
-                ratio > 0 ? std::to_string(static_cast<long>(ratio)).c_str()
-                          : ">measured",
-                sens.corrupt_percent);
-  }
-  if (ratio_count > 0) {
-    std::printf("\nMean measured reduction factor: x%.0f  (paper: ~x1000)\n",
-                ratio_sum / ratio_count);
-  }
-  std::printf("Mechanism: conventional converters lose the handshake token "
-              "when a runt pulse flips the phase\nreference; the "
-              "transition-sensing circuit converts glitches into data errors "
-              "and is vulnerable only\nduring its enable-gate switching "
-              "window (~2 ps/capture).\n");
-  return 0;
+    if (ratio_count > 0) {
+      mean_reduction = ratio_sum / ratio_count;
+      std::printf("\nMean measured reduction factor: x%.0f  (paper: ~x1000)\n",
+                  mean_reduction);
+    }
+    std::printf("Mechanism: conventional converters lose the handshake token "
+                "when a runt pulse flips the phase\nreference; the "
+                "transition-sensing circuit converts glitches into data "
+                "errors and is vulnerable only\nduring its enable-gate "
+                "switching window (~2 ps/capture).\n");
+  });
+  h.metric("mean_deadlock_reduction_x", mean_reduction);
+  return h.finish();
 }

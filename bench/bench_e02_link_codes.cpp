@@ -10,6 +10,7 @@
 //    RTZ code dominates the decision on both power and performance."
 #include <cstdio>
 
+#include "harness.hpp"
 #include "link/codes.hpp"
 #include "link/glitch_link.hpp"
 #include "link/link_timing.hpp"
@@ -27,52 +28,60 @@ void print_row(const char* env, const char* code, const SymbolCost& c) {
 
 }  // namespace
 
-int main() {
-  std::printf("E2: self-timed code trade-offs (3-of-6 RTZ vs 2-of-7 NRZ)\n\n");
-  std::printf("%-10s %-10s %12s %14s %16s\n", "domain", "code", "ns/symbol",
-              "Mb/s", "pJ/4-bit symbol");
+int main(int argc, char** argv) {
+  spinn::bench::Harness h("bench_e02_link_codes", argc, argv);
+  double nrz_throughput_gain = 0.0;
+  double measured_mbps = 0.0;
+  h.run("code_tradeoffs", [&] {
+    std::printf("E2: self-timed code trade-offs (3-of-6 RTZ vs 2-of-7 "
+                "NRZ)\n\n");
+    std::printf("%-10s %-10s %12s %14s %16s\n", "domain", "code", "ns/symbol",
+                "Mb/s", "pJ/4-bit symbol");
 
-  const ChannelParams off = off_chip_channel();
-  const ChannelParams on = on_chip_channel();
-  const SymbolCost off_rtz = rtz_cost(off);
-  const SymbolCost off_nrz = nrz_cost(off);
-  const SymbolCost on_rtz = rtz_cost(on);
-  const SymbolCost on_nrz = nrz_cost(on);
+    const ChannelParams off = off_chip_channel();
+    const ChannelParams on = on_chip_channel();
+    const SymbolCost off_rtz = rtz_cost(off);
+    const SymbolCost off_nrz = nrz_cost(off);
+    const SymbolCost on_rtz = rtz_cost(on);
+    const SymbolCost on_nrz = nrz_cost(on);
 
-  print_row("off-chip", "3-of-6 RTZ", off_rtz);
-  print_row("off-chip", "2-of-7 NRZ", off_nrz);
-  print_row("on-chip", "3-of-6 RTZ", on_rtz);
-  print_row("on-chip", "2-of-7 NRZ", on_nrz);
+    print_row("off-chip", "3-of-6 RTZ", off_rtz);
+    print_row("off-chip", "2-of-7 NRZ", off_nrz);
+    print_row("on-chip", "3-of-6 RTZ", on_rtz);
+    print_row("on-chip", "2-of-7 NRZ", on_nrz);
 
-  std::printf("\nOff-chip NRZ vs RTZ: throughput x%.2f (paper: x2), energy "
-              "x%.2f (paper: <x0.5)\n",
-              off_nrz.throughput_mbps / off_rtz.throughput_mbps,
-              off_nrz.energy_per_symbol_pj / off_rtz.energy_per_symbol_pj);
-  std::printf("On-chip RTZ vs NRZ: energy x%.2f (RTZ cheaper: paper says "
-              "simpler RTZ logic wins on-chip)\n\n",
-              on_rtz.energy_per_symbol_pj / on_nrz.energy_per_symbol_pj);
+    nrz_throughput_gain = off_nrz.throughput_mbps / off_rtz.throughput_mbps;
+    std::printf("\nOff-chip NRZ vs RTZ: throughput x%.2f (paper: x2), energy "
+                "x%.2f (paper: <x0.5)\n",
+                nrz_throughput_gain,
+                off_nrz.energy_per_symbol_pj / off_rtz.energy_per_symbol_pj);
+    std::printf("On-chip RTZ vs NRZ: energy x%.2f (RTZ cheaper: paper says "
+                "simpler RTZ logic wins on-chip)\n\n",
+                on_rtz.energy_per_symbol_pj / on_nrz.energy_per_symbol_pj);
 
-  std::printf("Wire transitions per 4-bit symbol: RTZ %d (paper: 8), NRZ %d "
-              "(paper: 3)\n",
-              ThreeOfSixRtz::data_transitions_per_symbol() +
-                  ThreeOfSixRtz::ack_transitions_per_symbol(),
-              TwoOfSevenNrz::data_transitions_per_symbol() +
-                  TwoOfSevenNrz::ack_transitions_per_symbol());
+    std::printf("Wire transitions per 4-bit symbol: RTZ %d (paper: 8), NRZ "
+                "%d (paper: 3)\n",
+                ThreeOfSixRtz::data_transitions_per_symbol() +
+                    ThreeOfSixRtz::ack_transitions_per_symbol(),
+                TwoOfSevenNrz::data_transitions_per_symbol() +
+                    TwoOfSevenNrz::ack_transitions_per_symbol());
 
-  // Cross-check the analytic throughput against the event-driven link
-  // (step until the stream completes; don't count idle tail time).
-  sim::Simulator sim(1);
-  GlitchLinkConfig cfg;  // clean link
-  GlitchLink glink(sim, cfg, 99);
-  const std::uint64_t n = 100'000;
-  glink.start(n);
-  while (glink.stats().delivered < n && sim.queue().step()) {
-  }
-  const double measured_mbps =
-      static_cast<double>(n) * 4.0 /
-      (static_cast<double>(sim.now()) * 1e-9) / 1e6;
-  std::printf("\nEvent-driven NRZ link cross-check: %.1f Mb/s sustained "
-              "(analytic %.1f Mb/s, real chip ~250 Mb/s)\n",
-              measured_mbps, off_nrz.throughput_mbps);
-  return 0;
+    // Cross-check the analytic throughput against the event-driven link
+    // (step until the stream completes; don't count idle tail time).
+    sim::Simulator sim(1);
+    GlitchLinkConfig cfg;  // clean link
+    GlitchLink glink(sim, cfg, 99);
+    const std::uint64_t n = 100'000;
+    glink.start(n);
+    while (glink.stats().delivered < n && sim.queue().step()) {
+    }
+    measured_mbps = static_cast<double>(n) * 4.0 /
+                    (static_cast<double>(sim.now()) * 1e-9) / 1e6;
+    std::printf("\nEvent-driven NRZ link cross-check: %.1f Mb/s sustained "
+                "(analytic %.1f Mb/s, real chip ~250 Mb/s)\n",
+                measured_mbps, off_nrz.throughput_mbps);
+  });
+  h.metric("offchip_nrz_vs_rtz_throughput_x", nrz_throughput_gain);
+  h.metric("event_driven_nrz_mbps", measured_mbps, "Mb/s");
+  return h.finish();
 }

@@ -8,32 +8,43 @@
 #include <cstdio>
 
 #include "energy/cost_model.hpp"
+#include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spinn::energy;
 
-  std::printf("E3: MIPS/mm^2 and MIPS/W — embedded vs high-end (2010-era "
-              "parts)\n\n");
-  std::printf("%-38s %10s %10s %9s %12s %10s\n", "processor", "MIPS", "mm^2",
-              "W", "MIPS/mm^2", "MIPS/W");
+  spinn::bench::Harness h("bench_e03_efficiency", argc, argv);
+  double energy_efficiency_x = 0.0;
+  double area_efficiency_x = 0.0;
+  h.run("cost_metrics", [&] {
+    std::printf("E3: MIPS/mm^2 and MIPS/W — embedded vs high-end (2010-era "
+                "parts)\n\n");
+    std::printf("%-38s %10s %10s %9s %12s %10s\n", "processor", "MIPS",
+                "mm^2", "W", "MIPS/mm^2", "MIPS/W");
 
-  const ProcessorSpec specs[] = {arm968_core(), spinnaker_node(),
-                                 desktop_cpu()};
-  for (const ProcessorSpec& p : specs) {
-    std::printf("%-38s %10.0f %10.1f %9.2f %12.1f %10.0f\n", p.name, p.mips,
-                p.area_mm2, p.power_watts, mips_per_mm2(p), mips_per_watt(p));
-  }
+    const ProcessorSpec specs[] = {arm968_core(), spinnaker_node(),
+                                   desktop_cpu()};
+    for (const ProcessorSpec& p : specs) {
+      std::printf("%-38s %10.0f %10.1f %9.2f %12.1f %10.0f\n", p.name,
+                  p.mips, p.area_mm2, p.power_watts, mips_per_mm2(p),
+                  mips_per_watt(p));
+    }
 
-  const ProcessorSpec node = spinnaker_node();
-  const ProcessorSpec desktop = desktop_cpu();
-  std::printf("\nThroughput: 20-ARM node / desktop = x%.2f   (paper: "
-              "\"about the same\")\n",
-              node.mips / desktop.mips);
-  std::printf("Area efficiency: node / desktop = x%.2f      (paper: "
-              "\"roughly equal\")\n",
-              mips_per_mm2(node) / mips_per_mm2(desktop));
-  std::printf("Energy efficiency: node / desktop = x%.0f    (paper: \"an "
-              "order of magnitude\")\n",
-              mips_per_watt(node) / mips_per_watt(desktop));
-  return 0;
+    const ProcessorSpec node = spinnaker_node();
+    const ProcessorSpec desktop = desktop_cpu();
+    area_efficiency_x = mips_per_mm2(node) / mips_per_mm2(desktop);
+    energy_efficiency_x = mips_per_watt(node) / mips_per_watt(desktop);
+    std::printf("\nThroughput: 20-ARM node / desktop = x%.2f   (paper: "
+                "\"about the same\")\n",
+                node.mips / desktop.mips);
+    std::printf("Area efficiency: node / desktop = x%.2f      (paper: "
+                "\"roughly equal\")\n",
+                area_efficiency_x);
+    std::printf("Energy efficiency: node / desktop = x%.0f    (paper: \"an "
+                "order of magnitude\")\n",
+                energy_efficiency_x);
+  });
+  h.metric("node_vs_desktop_mips_per_mm2_x", area_efficiency_x);
+  h.metric("node_vs_desktop_mips_per_watt_x", energy_efficiency_x);
+  return h.finish();
 }

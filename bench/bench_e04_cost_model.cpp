@@ -9,31 +9,41 @@
 #include <cstdio>
 
 #include "energy/cost_model.hpp"
+#include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spinn::energy;
 
-  const OwnershipCost pc = pc_ownership();
-  const OwnershipCost node = spinnaker_node_ownership();
+  spinn::bench::Harness h("bench_e04_cost_model", argc, argv);
+  double crossover_years = 0.0;
+  double ownership_ratio_5y = 0.0;
+  h.run("ownership_sweep", [&] {
+    const OwnershipCost pc = pc_ownership();
+    const OwnershipCost node = spinnaker_node_ownership();
 
-  std::printf("E4: ownership cost — PC vs SpiNNaker node ($1/W/year)\n\n");
-  std::printf("%-8s %16s %16s %18s\n", "years", "PC total ($)",
-              "node total ($)", "PC energy share");
-  for (int years = 0; years <= 6; ++years) {
-    const double pc_total = pc.total(years);
-    const double energy_share =
-        (pc_total - pc.purchase_dollars) / pc_total * 100.0;
-    std::printf("%-8d %16.0f %16.1f %17.0f%%\n", years, pc_total,
-                node.total(years), energy_share);
-  }
+    std::printf("E4: ownership cost — PC vs SpiNNaker node ($1/W/year)\n\n");
+    std::printf("%-8s %16s %16s %18s\n", "years", "PC total ($)",
+                "node total ($)", "PC energy share");
+    for (int years = 0; years <= 6; ++years) {
+      const double pc_total = pc.total(years);
+      const double energy_share =
+          (pc_total - pc.purchase_dollars) / pc_total * 100.0;
+      std::printf("%-8d %16.0f %16.1f %17.0f%%\n", years, pc_total,
+                  node.total(years), energy_share);
+    }
 
-  std::printf("\nPC energy-cost crossover: %.2f years (paper: \"a little "
-              "more than three years\")\n",
-              pc.energy_crossover_years());
-  std::printf("Node purchase: $%.0f (paper: ~$20), node power: %.1f W "
-              "(paper: <1 W)\n",
-              node.purchase_dollars, node.power_watts);
-  std::printf("5-year ownership ratio, PC/node: x%.0f\n",
-              pc.total(5.0) / node.total(5.0));
-  return 0;
+    crossover_years = pc.energy_crossover_years();
+    ownership_ratio_5y = pc.total(5.0) / node.total(5.0);
+    std::printf("\nPC energy-cost crossover: %.2f years (paper: \"a little "
+                "more than three years\")\n",
+                crossover_years);
+    std::printf("Node purchase: $%.0f (paper: ~$20), node power: %.1f W "
+                "(paper: <1 W)\n",
+                node.purchase_dollars, node.power_watts);
+    std::printf("5-year ownership ratio, PC/node: x%.0f\n",
+                ownership_ratio_5y);
+  });
+  h.metric("pc_energy_crossover_years", crossover_years, "years");
+  h.metric("pc_vs_node_5y_ownership_x", ownership_ratio_5y);
+  return h.finish();
 }

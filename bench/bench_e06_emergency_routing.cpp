@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "core/traffic.hpp"
+#include "harness.hpp"
 #include "mesh/machine.hpp"
 #include "sim/simulator.hpp"
 
@@ -126,7 +127,8 @@ void print_row(const char* label, const RunResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  spinn::bench::Harness h("bench_e06_emergency_routing", argc, argv);
   std::printf("E6: emergency routing around a failed link (Fig. 8) — link "
               "(3,3)->(4,3) dies at t=50 ms of 150 ms\n\n");
   std::printf("%-34s %8s %10s %12s %10s %8s %8s %9s %9s\n", "configuration",
@@ -134,10 +136,11 @@ int main() {
               "reinject", "lat(us)", "p99(us)");
 
   const double rate = 3.0;  // packets per 1 ms tick: lightly loaded
-  const RunResult er_on = run_case(true, false, rate);
-  const RunResult er_off = run_case(false, false, rate);
-  const RunResult er_off_monitor = run_case(false, true, rate);
-  const RunResult er_on_monitor = run_case(true, true, rate);
+  RunResult er_on, er_off, er_off_monitor, er_on_monitor;
+  h.run("er_on", [&] { er_on = run_case(true, false, rate); });
+  h.run("er_off", [&] { er_off = run_case(false, false, rate); });
+  h.run("er_off_monitor", [&] { er_off_monitor = run_case(false, true, rate); });
+  h.run("er_on_monitor", [&] { er_on_monitor = run_case(true, true, rate); });
 
   print_row("emergency routing ON", er_on);
   print_row("emergency routing OFF", er_off);
@@ -150,5 +153,16 @@ int main() {
               "programmable waits.\nThe Monitor Processor recovers dropped "
               "packets and installs a permanent rerouting around the\ndead "
               "link (§5.3), restoring delivery without hardware ER.\n");
-  return 0;
+  h.metric("er_on_delivery_pct",
+           er_on.sent ? 100.0 * static_cast<double>(er_on.delivered) /
+                            static_cast<double>(er_on.sent)
+                      : 0.0,
+           "%");
+  h.metric("er_off_monitor_delivery_pct",
+           er_off_monitor.sent
+               ? 100.0 * static_cast<double>(er_off_monitor.delivered) /
+                     static_cast<double>(er_off_monitor.sent)
+               : 0.0,
+           "%");
+  return h.finish();
 }

@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "core/traffic.hpp"
+#include "harness.hpp"
 #include "mesh/machine.hpp"
 #include "sim/simulator.hpp"
 
@@ -70,42 +71,50 @@ void measure_distance(std::uint16_t dim, int hops, double packets_per_tick,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  spinn::bench::Harness h("bench_e07_spike_latency", argc, argv);
+  double worst_max = 0.0;
   std::printf("E7: multicast latency across the fabric\n\n");
 
-  std::printf("Part A: latency vs hop distance (24x24 torus, ~2 packets/ms "
-              "offered)\n");
-  std::printf("%-8s %12s %12s %12s %12s %14s\n", "hops", "mean(us)",
-              "p99(us)", "max(us)", "delivered", "<1ms budget?");
-  double worst_max = 0.0;
-  for (const int hops : {1, 2, 4, 6, 8, 10, 12}) {
-    double mean_us, p99_us, max_us;
-    std::uint64_t delivered;
-    measure_distance(24, hops, 2.0, &mean_us, &p99_us, &max_us, &delivered);
-    worst_max = max_us > worst_max ? max_us : worst_max;
-    std::printf("%-8d %12.2f %12.2f %12.2f %12llu %14s\n", hops, mean_us,
-                p99_us, max_us, static_cast<unsigned long long>(delivered),
-                max_us < 1000.0 ? "yes" : "NO");
-  }
-  std::printf("\nWorst observed delivery: %.1f us — %.1fx under the 1 ms "
-              "window (paper: \"significantly under 1ms,\nwhatever the "
-              "distance\").\n\n",
-              worst_max, 1000.0 / worst_max);
+  h.run("distance_sweep", [&] {
+    std::printf("Part A: latency vs hop distance (24x24 torus, ~2 "
+                "packets/ms offered)\n");
+    std::printf("%-8s %12s %12s %12s %12s %14s\n", "hops", "mean(us)",
+                "p99(us)", "max(us)", "delivered", "<1ms budget?");
+    worst_max = 0.0;
+    for (const int hops : {1, 2, 4, 6, 8, 10, 12}) {
+      double mean_us, p99_us, max_us;
+      std::uint64_t delivered;
+      measure_distance(24, hops, 2.0, &mean_us, &p99_us, &max_us,
+                       &delivered);
+      worst_max = max_us > worst_max ? max_us : worst_max;
+      std::printf("%-8d %12.2f %12.2f %12.2f %12llu %14s\n", hops, mean_us,
+                  p99_us, max_us, static_cast<unsigned long long>(delivered),
+                  max_us < 1000.0 ? "yes" : "NO");
+    }
+    std::printf("\nWorst observed delivery: %.1f us — %.1fx under the 1 ms "
+                "window (paper: \"significantly under 1ms,\nwhatever the "
+                "distance\").\n\n",
+                worst_max, 1000.0 / worst_max);
+  });
 
-  std::printf("Part B: latency vs offered load over 4 hops (congestion "
-              "knee)\n");
-  std::printf("%-22s %12s %12s %12s\n", "offered (pkts/ms)", "mean(us)",
-              "p99(us)", "delivered");
-  for (const double rate : {1.0, 10.0, 50.0, 200.0, 500.0, 1000.0}) {
-    double mean_us, p99_us, max_us;
-    std::uint64_t delivered;
-    measure_distance(8, 4, rate, &mean_us, &p99_us, &max_us, &delivered);
-    std::printf("%-22.0f %12.2f %12.2f %12llu\n", rate, mean_us, p99_us,
-                static_cast<unsigned long long>(delivered));
-  }
-  std::printf("\nLatency is flat until the 40-bit/250-Mb/s serialization "
-              "budget (~6.2k pkts/ms/link) nears; the\ndesign point keeps "
-              "the fabric lightly loaded so congestion delays stay "
-              "negligible (§5.3).\n");
-  return 0;
+  h.run("load_sweep", [&] {
+    std::printf("Part B: latency vs offered load over 4 hops (congestion "
+                "knee)\n");
+    std::printf("%-22s %12s %12s %12s\n", "offered (pkts/ms)", "mean(us)",
+                "p99(us)", "delivered");
+    for (const double rate : {1.0, 10.0, 50.0, 200.0, 500.0, 1000.0}) {
+      double mean_us, p99_us, max_us;
+      std::uint64_t delivered;
+      measure_distance(8, 4, rate, &mean_us, &p99_us, &max_us, &delivered);
+      std::printf("%-22.0f %12.2f %12.2f %12llu\n", rate, mean_us, p99_us,
+                  static_cast<unsigned long long>(delivered));
+    }
+    std::printf("\nLatency is flat until the 40-bit/250-Mb/s serialization "
+                "budget (~6.2k pkts/ms/link) nears; the\ndesign point keeps "
+                "the fabric lightly loaded so congestion delays stay "
+                "negligible (§5.3).\n");
+  });
+  h.metric("worst_delivery_latency_us", worst_max, "us");
+  return h.finish();
 }

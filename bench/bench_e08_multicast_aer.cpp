@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "harness.hpp"
 #include "map/routing_gen.hpp"
 #include "mesh/machine.hpp"
 #include "sim/simulator.hpp"
@@ -82,23 +83,35 @@ TrafficCounts count_traffic(std::uint16_t dim, int fanout_pops) {
 
 }  // namespace
 
-int main() {
-  std::printf("E8: total communication loading per spike volley — "
-              "broadcast vs unicast vs multicast (§4)\n\n");
-  std::printf("%-10s %-8s %14s %14s %14s %12s %12s\n", "machine", "fanout",
-              "broadcast", "unicast", "multicast", "mc/ucast", "mc/bcast");
-  for (const std::uint16_t dim : {8, 12, 16}) {
-    for (const int fanout : {1, 2, 4, 8}) {
-      const TrafficCounts c = count_traffic(dim, fanout);
-      std::printf("%2ux%-7u %-8d %14.0f %14.0f %14.0f %11.2f%% %11.2f%%\n",
-                  dim, dim, fanout, c.broadcast, c.unicast, c.multicast,
-                  100.0 * c.multicast / c.unicast,
-                  100.0 * c.multicast / c.broadcast);
+int main(int argc, char** argv) {
+  spinn::bench::Harness h("bench_e08_multicast_aer", argc, argv);
+  double mc_vs_ucast_16x8 = 0.0;
+  double mc_vs_bcast_16x8 = 0.0;
+  h.run("fanout_sweep", [&] {
+    std::printf("E8: total communication loading per spike volley — "
+                "broadcast vs unicast vs multicast (§4)\n\n");
+    std::printf("%-10s %-8s %14s %14s %14s %12s %12s\n", "machine", "fanout",
+                "broadcast", "unicast", "multicast", "mc/ucast", "mc/bcast");
+    for (const std::uint16_t dim : {8, 12, 16}) {
+      for (const int fanout : {1, 2, 4, 8}) {
+        const TrafficCounts c = count_traffic(dim, fanout);
+        if (dim == 16 && fanout == 8) {
+          mc_vs_ucast_16x8 = 100.0 * c.multicast / c.unicast;
+          mc_vs_bcast_16x8 = 100.0 * c.multicast / c.broadcast;
+        }
+        std::printf("%2ux%-7u %-8d %14.0f %14.0f %14.0f %11.2f%% %11.2f%%\n",
+                    dim, dim, fanout, c.broadcast, c.unicast, c.multicast,
+                    100.0 * c.multicast / c.unicast,
+                    100.0 * c.multicast / c.broadcast);
+      }
     }
-  }
-  std::printf("\nMulticast needs a fraction of the unicast traversals (paths "
-              "shared until branch points) and a\ntiny fraction of broadcast "
-              "— the multicast router is what makes large-scale AER "
-              "feasible (§4).\n");
-  return 0;
+    std::printf("\nMulticast needs a fraction of the unicast traversals "
+                "(paths shared until branch points) and a\ntiny fraction of "
+                "broadcast — the multicast router is what makes large-scale "
+                "AER feasible (§4).\n");
+  });
+  h.metric("mc_vs_unicast_traffic_16x16_fanout8_pct", mc_vs_ucast_16x8, "%");
+  h.metric("mc_vs_broadcast_traffic_16x16_fanout8_pct", mc_vs_bcast_16x8,
+           "%");
+  return h.finish();
 }

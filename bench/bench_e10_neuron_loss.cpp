@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "common/rng.hpp"
+#include "harness.hpp"
 #include "neural/retina.hpp"
 
 namespace {
@@ -21,71 +22,79 @@ using namespace spinn::neural;
 
 }  // namespace
 
-int main() {
-  std::printf("E10: retina rank-order coding under neuron loss (§5.4)\n\n");
+int main(int argc, char** argv) {
+  spinn::bench::Harness h("bench_e10_neuron_loss", argc, argv);
+  double retained_at_30pct = 0.0;
+  h.run("lesion_sweep", [&] {
+    std::printf("E10: retina rank-order coding under neuron loss "
+                "(§5.4)\n\n");
 
-  const int image_size = 32;
-  RetinaConfig cfg;
-  const Image stimulus = make_gaussian_blob(image_size, 16.0, 14.0, 3.5);
+    const int image_size = 32;
+    RetinaConfig cfg;
+    const Image stimulus = make_gaussian_blob(image_size, 16.0, 14.0, 3.5);
 
-  // Intact baseline.
-  Retina baseline(image_size, cfg);
-  const auto intact_volley = baseline.encode(stimulus);
-  const double intact_corr = image_correlation(
-      stimulus, baseline.decode(intact_volley, 100000));
+    // Intact baseline.
+    Retina baseline(image_size, cfg);
+    const auto intact_volley = baseline.encode(stimulus);
+    const double intact_corr = image_correlation(
+        stimulus, baseline.decode(intact_volley, 100000));
 
-  std::printf("Ganglion sheet: %zu cells (ON+OFF, %zu scales); intact volley "
-              "%zu spikes; intact reconstruction r=%.3f\n\n",
-              baseline.num_ganglia(), cfg.scales.size(),
-              intact_volley.size(), intact_corr);
+    std::printf("Ganglion sheet: %zu cells (ON+OFF, %zu scales); intact "
+                "volley %zu spikes; intact reconstruction r=%.3f\n\n",
+                baseline.num_ganglia(), cfg.scales.size(),
+                intact_volley.size(), intact_corr);
 
-  std::printf("%-12s %10s %16s %18s %20s\n", "loss", "spikes",
-              "reconstruction", "retained info", "rank-order overlap");
-  std::printf("%-12s %10s %16s %18s %20s\n", "(%% cells)", "", "(corr r)",
-              "(%% of intact r)", "(vs intact, d=50)");
+    std::printf("%-12s %10s %16s %18s %20s\n", "loss", "spikes",
+                "reconstruction", "retained info", "rank-order overlap");
+    std::printf("%-12s %10s %16s %18s %20s\n", "(%% cells)", "", "(corr r)",
+                "(%% of intact r)", "(vs intact, d=50)");
 
-  Rng rng(2026);
-  for (const double loss : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
-    // Average over lesion draws.
-    const int draws = 5;
-    double corr_sum = 0.0, spikes_sum = 0.0, overlap_sum = 0.0;
-    for (int d = 0; d < draws; ++d) {
-      Retina lesioned(image_size, cfg);
-      lesioned.kill_fraction(loss, rng);
-      const auto volley = lesioned.encode(stimulus);
-      corr_sum += image_correlation(stimulus,
-                                    lesioned.decode(volley, 100000));
-      spikes_sum += static_cast<double>(volley.size());
-      overlap_sum += rank_order_similarity(intact_volley, volley, 50);
+    Rng rng(2026);
+    for (const double loss : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
+      // Average over lesion draws.
+      const int draws = 5;
+      double corr_sum = 0.0, spikes_sum = 0.0, overlap_sum = 0.0;
+      for (int d = 0; d < draws; ++d) {
+        Retina lesioned(image_size, cfg);
+        lesioned.kill_fraction(loss, rng);
+        const auto volley = lesioned.encode(stimulus);
+        corr_sum += image_correlation(stimulus,
+                                      lesioned.decode(volley, 100000));
+        spikes_sum += static_cast<double>(volley.size());
+        overlap_sum += rank_order_similarity(intact_volley, volley, 50);
+      }
+      const double corr = corr_sum / draws;
+      const double retained_pct = 100.0 * corr / intact_corr;
+      if (loss == 0.3) retained_at_30pct = retained_pct;
+      std::printf("%-12.0f %10.0f %16.3f %17.1f%% %20.3f\n", loss * 100.0,
+                  spikes_sum / draws, corr, retained_pct,
+                  overlap_sum / draws);
     }
-    const double corr = corr_sum / draws;
-    std::printf("%-12.0f %10.0f %16.3f %17.1f%% %20.3f\n", loss * 100.0,
-                spikes_sum / draws, corr, 100.0 * corr / intact_corr,
-                overlap_sum / draws);
-  }
 
-  // The takeover mechanism: with inhibition, killing a cell frees its
-  // neighbours to fire.
-  std::printf("\nTakeover mechanism: dead cells stop inhibiting, so "
-              "overlapping neighbours with similar receptive\nfields fire "
-              "in their place (§5.4):\n");
-  Retina demo(image_size, cfg);
-  const auto before = demo.encode(stimulus);
-  Rng krng(7);
-  demo.kill_fraction(0.3, krng);
-  const auto after = demo.encode(stimulus);
-  int newly_recruited = 0;
-  for (const RetinaSpike& s : after) {
-    bool was_active = false;
-    for (const RetinaSpike& t : before) {
-      if (t.ganglion == s.ganglion) was_active = true;
+    // The takeover mechanism: with inhibition, killing a cell frees its
+    // neighbours to fire.
+    std::printf("\nTakeover mechanism: dead cells stop inhibiting, so "
+                "overlapping neighbours with similar receptive\nfields fire "
+                "in their place (§5.4):\n");
+    Retina demo(image_size, cfg);
+    const auto before = demo.encode(stimulus);
+    Rng krng(7);
+    demo.kill_fraction(0.3, krng);
+    const auto after = demo.encode(stimulus);
+    int newly_recruited = 0;
+    for (const RetinaSpike& s : after) {
+      bool was_active = false;
+      for (const RetinaSpike& t : before) {
+        if (t.ganglion == s.ganglion) was_active = true;
+      }
+      if (!was_active) ++newly_recruited;
     }
-    if (!was_active) ++newly_recruited;
-  }
-  std::printf("  30%% lesion: %zu -> %zu spikes, %d previously-silent cells "
-              "recruited by disinhibition.\n",
-              before.size(), after.size(), newly_recruited);
-  std::printf("\nDegradation is graceful (no cliff), matching the paper's "
-              "fault-tolerance argument.\n");
-  return 0;
+    std::printf("  30%% lesion: %zu -> %zu spikes, %d previously-silent "
+                "cells recruited by disinhibition.\n",
+                before.size(), after.size(), newly_recruited);
+    std::printf("\nDegradation is graceful (no cliff), matching the paper's "
+                "fault-tolerance argument.\n");
+  });
+  h.metric("retained_info_at_30pct_loss_pct", retained_at_30pct, "%");
+  return h.finish();
 }

@@ -14,6 +14,7 @@
 
 #include "core/system.hpp"
 #include "energy/cost_model.hpp"
+#include "harness.hpp"
 
 namespace {
 
@@ -62,64 +63,77 @@ CapacityPoint run_point(std::uint32_t neurons, double input_rate_hz,
 
 }  // namespace
 
-int main() {
-  std::printf("E11: real-time neuron capacity per core, and machine-scale "
-              "extrapolation (§1, §6)\n\n");
-  std::printf("%-10s %12s %14s %12s\n", "neurons", "core load",
-              "overruns", "deadline ok");
-  std::printf("%-10s %12s %14s %12s\n", "per core", "(%%)", "(200 ticks)",
-              "");
-
+int main(int argc, char** argv) {
+  spinn::bench::Harness h("bench_e11_realtime_capacity", argc, argv);
   std::uint32_t capacity = 0;
-  for (const std::uint32_t n :
-       {100u, 250u, 500u, 750u, 1000u, 1250u, 1500u, 2000u, 3000u}) {
-    const CapacityPoint p = run_point(n, 10.0);
-    const bool ok = p.overruns == 0;
-    if (ok) capacity = n;
-    std::printf("%-10u %12.1f %14llu %12s\n", p.neurons, p.cpu_percent,
-                static_cast<unsigned long long>(p.overruns),
-                ok ? "yes" : "NO");
-  }
-
-  std::printf("\nMeasured real-time capacity: ~%u LIF neurons/core at 10 Hz "
-              "input, ~%.0f synapses/neuron.\n\n",
-              capacity, capacity * 0.05);
-
-  // The budget is really a synaptic-event budget: richer connectivity eats
-  // into the neuron count (the paper's ~1000/core assumes biologically
-  // realistic fan-in).
-  std::printf("Connectivity sweep at 1000 neurons/core (10 Hz drive):\n");
-  std::printf("%-20s %12s %14s %12s\n", "synapses/neuron", "core load",
-              "overruns", "deadline ok");
   std::uint32_t rt_synapses = 0;
-  for (const double p : {0.05, 0.2, 0.5, 1.0}) {
-    const CapacityPoint cp = run_point(1000, 10.0, p);
-    const auto syn = static_cast<std::uint32_t>(1000 * p);
-    if (cp.overruns == 0) rt_synapses = syn;
-    std::printf("%-20u %12.1f %14llu %12s\n", syn, cp.cpu_percent,
-                static_cast<unsigned long long>(cp.overruns),
-                cp.overruns == 0 ? "yes" : "NO");
-  }
-  std::printf("\n1000 neurons/core holds real time up to ~%u synapses/neuron "
-              "at 10 Hz mean activity — a synaptic-\nevent budget of ~%.0fM "
-              "connections/s/core, the same order as the published "
-              "SpiNNaker software stack.\nThe paper's ~1000-neuron/core "
-              "design point holds at biological sparse activity.\n\n",
-              rt_synapses, 1000.0 * rt_synapses * 10.0 / 1e6);
+  h.run("neuron_sweep", [&] {
+    std::printf("E11: real-time neuron capacity per core, and machine-scale "
+                "extrapolation (§1, §6)\n\n");
+    std::printf("%-10s %12s %14s %12s\n", "neurons", "core load",
+                "overruns", "deadline ok");
+    std::printf("%-10s %12s %14s %12s\n", "per core", "(%%)", "(200 ticks)",
+                "");
 
-  // Machine-scale arithmetic (paper §1/§6).
-  const double cores = 1'036'800.0;  // 57,600 nodes x 18 application cores
-  const auto node = energy::spinnaker_node();
-  const double total_mips = cores / 20.0 * node.mips;
-  std::printf("Extrapolation to the full machine:\n");
-  std::printf("  cores:          %.0f (paper: \"more than a million\")\n",
-              cores);
-  std::printf("  neurons:        %.2e (paper: 10^9 — 1%% of a human brain)\n",
-              cores * capacity);
-  std::printf("  throughput:     %.0f teraIPS (paper: \"around 200 "
-              "teraIPS\")\n",
-              total_mips / 1e6);
-  std::printf("  machine power:  %.0f kW at %.1f W/node\n",
-              57'600.0 * node.power_watts / 1000.0, node.power_watts);
-  return 0;
+    capacity = 0;
+    for (const std::uint32_t n :
+         {100u, 250u, 500u, 750u, 1000u, 1250u, 1500u, 2000u, 3000u}) {
+      const CapacityPoint p = run_point(n, 10.0);
+      const bool ok = p.overruns == 0;
+      if (ok) capacity = n;
+      std::printf("%-10u %12.1f %14llu %12s\n", p.neurons, p.cpu_percent,
+                  static_cast<unsigned long long>(p.overruns),
+                  ok ? "yes" : "NO");
+    }
+
+    std::printf("\nMeasured real-time capacity: ~%u LIF neurons/core at "
+                "10 Hz input, ~%.0f synapses/neuron.\n\n",
+                capacity, capacity * 0.05);
+  });
+
+  h.run("connectivity_sweep", [&] {
+    // The budget is really a synaptic-event budget: richer connectivity
+    // eats into the neuron count (the paper's ~1000/core assumes
+    // biologically realistic fan-in).
+    std::printf("Connectivity sweep at 1000 neurons/core (10 Hz drive):\n");
+    std::printf("%-20s %12s %14s %12s\n", "synapses/neuron", "core load",
+                "overruns", "deadline ok");
+    rt_synapses = 0;
+    for (const double p : {0.05, 0.2, 0.5, 1.0}) {
+      const CapacityPoint cp = run_point(1000, 10.0, p);
+      const auto syn = static_cast<std::uint32_t>(1000 * p);
+      if (cp.overruns == 0) rt_synapses = syn;
+      std::printf("%-20u %12.1f %14llu %12s\n", syn, cp.cpu_percent,
+                  static_cast<unsigned long long>(cp.overruns),
+                  cp.overruns == 0 ? "yes" : "NO");
+    }
+    std::printf("\n1000 neurons/core holds real time up to ~%u "
+                "synapses/neuron at 10 Hz mean activity — a synaptic-\n"
+                "event budget of ~%.0fM connections/s/core, the same order "
+                "as the published SpiNNaker software stack.\nThe paper's "
+                "~1000-neuron/core design point holds at biological sparse "
+                "activity.\n\n",
+                rt_synapses, 1000.0 * rt_synapses * 10.0 / 1e6);
+
+    // Machine-scale arithmetic (paper §1/§6).
+    const double cores = 1'036'800.0;  // 57,600 nodes x 18 app cores
+    const auto node = energy::spinnaker_node();
+    const double total_mips = cores / 20.0 * node.mips;
+    std::printf("Extrapolation to the full machine:\n");
+    std::printf("  cores:          %.0f (paper: \"more than a million\")\n",
+                cores);
+    std::printf("  neurons:        %.2e (paper: 10^9 — 1%% of a human "
+                "brain)\n",
+                cores * capacity);
+    std::printf("  throughput:     %.0f teraIPS (paper: \"around 200 "
+                "teraIPS\")\n",
+                total_mips / 1e6);
+    std::printf("  machine power:  %.0f kW at %.1f W/node\n",
+                57'600.0 * node.power_watts / 1000.0, node.power_watts);
+  });
+  h.metric("realtime_neurons_per_core", static_cast<double>(capacity),
+           "neurons");
+  h.metric("realtime_synapses_per_neuron_at_1000",
+           static_cast<double>(rt_synapses), "synapses");
+  return h.finish();
 }

@@ -121,7 +121,7 @@ TEST(Topology, GreedyPathsArePrefixClosed) {
 TEST(Topology, DistanceMatchesBfsOracle) {
   // The closed-form hex-torus distance must equal true shortest paths over
   // the 6-link graph (breadth-first search) for every pair.
-  for (const auto [w, h] : {std::pair<int, int>{8, 8}, {5, 7}, {4, 4}}) {
+  for (const auto& [w, h] : {std::pair<int, int>{8, 8}, {5, 7}, {4, 4}}) {
     const Topology t(static_cast<std::uint16_t>(w),
                      static_cast<std::uint16_t>(h));
     std::vector<int> dist(t.num_chips(), -1);
