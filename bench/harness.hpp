@@ -115,6 +115,15 @@ class Harness {
     sections_.push_back(std::move(s));
   }
 
+  // Best (minimum) wall-clock of an already-run section, in milliseconds;
+  // 0 if the section is unknown.  Lets later sections report speedups.
+  double section_ms(const std::string& section) const {
+    for (const Section& s : sections_) {
+      if (s.name == section) return s.ns_min / 1e6;
+    }
+    return 0.0;
+  }
+
   // Attaches a named scalar result (rate, count, percentage, ...) from the
   // bench's domain so the JSON trajectory can track quality metrics, not
   // just wall-clock time.

@@ -43,6 +43,11 @@ void BootController::run_elections() {
     ++elections_pending_;
     machine_.chip_at(c).run_self_test_and_election(
         [this, i](std::optional<CoreIndex> monitor) {
+          // A straggler self-test (a chip boot finished without) may resolve
+          // after the machine was handed over; the boot firmware is gone by
+          // then.  finished_ is last written before any worker thread
+          // exists, so this read is safe from a chip's shard.
+          if (finished_) return;
           nodes_[i].alive = monitor.has_value();
           if (--elections_pending_ == 0) after_elections();
         });
@@ -103,7 +108,13 @@ void BootController::rescue_pass() {
   compute_p2p_hops();
 
   // Give the probe/rescue traffic its timeout window, then break symmetry.
-  sim_.after(cfg_.probe_timeout_ns, [this] { start_coordinate_flood(); });
+  // All boot-controller events are keyed explicitly to the root actor: the
+  // call may come from a chip-actor event (a monitor packet handler), and
+  // under the sharded engine the root queue would otherwise be idle and
+  // mint a different key than the serial engine — explicit keying keeps the
+  // boot schedule engine-independent.
+  sim_.after_as(cfg_.probe_timeout_ns, sim::kRootActor,
+                [this] { start_coordinate_flood(); });
 }
 
 void BootController::compute_p2p_hops() {
@@ -184,7 +195,8 @@ void BootController::handle_coord(std::size_t chip_index,
   check_positioning_done();
 
   // Re-flood: tell each neighbour its position, derived from ours.
-  sim_.after(cfg_.nn_handling_ns, [this, chip_index, m] {
+  sim_.after_as(cfg_.nn_handling_ns, sim::kRootActor,
+                [this, chip_index, m] {
     const mesh::Topology& topo = machine_.topology();
     for (int l = 0; l < kLinksPerChip; ++l) {
       const auto d = static_cast<LinkDir>(l);
@@ -202,7 +214,7 @@ void BootController::build_p2p_table(std::size_t chip_index) {
   const auto entries =
       static_cast<std::uint64_t>(machine_.num_chips());
   const TimeNs compute = static_cast<TimeNs>(entries) * cfg_.p2p_entry_ns;
-  sim_.after(compute, [this, chip_index, self] {
+  sim_.after_as(compute, sim::kRootActor, [this, chip_index, self] {
     const mesh::Topology& topo = machine_.topology();
     router::P2pTable table(machine_.width(), machine_.height());
     const std::size_t self_index = topo.index(self);
@@ -279,7 +291,7 @@ void BootController::forward_block(std::size_t chip_index,
   budget = 0;
   for (int r = 0; r < rounds; ++r) {
     const TimeNs delay = cfg_.nn_handling_ns * (r + 1);
-    sim_.after(delay, [this, chip_index, block] {
+    sim_.after_as(delay, sim::kRootActor, [this, chip_index, block] {
       for (int l = 0; l < kLinksPerChip; ++l) {
         send_nn(chip_index, static_cast<LinkDir>(l),
                 make_nn(BootOp::NnBlock, block, cfg_.words_per_block));
@@ -300,7 +312,28 @@ void BootController::finish() {
   finished_ = true;
   report_.load_done = sim_.now();
   report_.complete = true;
+  unwire();
   if (done_) done_(report_);
+}
+
+void BootController::abandon() {
+  if (finished_) return;
+  finished_ = true;  // straggler election callbacks become no-ops
+  unwire();
+}
+
+void BootController::unwire() {
+  // Hand the machine over: unwire the boot firmware from every monitor
+  // inbox so straggler nn packets (late redundant blocks, acks) terminate
+  // at the chip instead of calling back into this controller.  Beyond being
+  // the right protocol semantics, it means no chip-actor event touches
+  // boot-controller state once the boot attempt is over — which is what
+  // lets the sharded engine run the post-boot phase in parallel windows.
+  for (std::size_t i = 0; i < machine_.num_chips(); ++i) {
+    machine_.chip_at(machine_.topology().coord_of(i))
+        .set_monitor_packet_handler(nullptr);
+  }
+  machine_.host_link().set_to_node(nullptr);
 }
 
 bool BootController::chip_booted(ChipCoord c) const {

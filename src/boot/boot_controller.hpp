@@ -82,6 +82,13 @@ class BootController {
 
   const BootReport& report() const { return report_; }
 
+  /// End the boot attempt without completion: unwire the boot firmware from
+  /// every monitor inbox and ignore any straggler callbacks.  Called by the
+  /// system when a stalled boot is given up on, so leftover boot traffic
+  /// can never call back into this controller from a later (possibly
+  /// parallel) run phase.
+  void abandon();
+
   /// Per-chip observability for tests.
   bool chip_booted(ChipCoord c) const;
   bool chip_positioned(ChipCoord c) const;
@@ -120,6 +127,7 @@ class BootController {
   void check_positioning_done();
   void check_load_done();
   void finish();
+  void unwire();
 
   sim::Simulator& sim_;
   mesh::Machine& machine_;

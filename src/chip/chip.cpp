@@ -43,6 +43,14 @@ Chip::Chip(sim::Simulator& sim, ChipCoord coord, const ChipConfig& config,
   }
 }
 
+void Chip::set_actor(sim::ActorId actor) {
+  actor_ = actor;
+  router_->set_actor(actor);
+  comms_noc_->set_actor(actor);
+  system_noc_->set_actor(actor);
+  for (auto& c : cores_) c->set_actor(actor);
+}
+
 void Chip::run_self_test_and_election(
     std::function<void(std::optional<CoreIndex>)> done) {
   sysctl_.reset();
@@ -65,7 +73,9 @@ void Chip::run_self_test_and_election(
     // Self-test takes 100..200 us of local clock time.
     const auto duration = static_cast<TimeNs>(
         rng_.uniform(100.0, 200.0) * static_cast<double>(kMicrosecond));
-    sim_.after(duration, [this, i, fails, state] {
+    // Keyed to this chip's actor: the kick-off may come from a boot event
+    // executing under the root actor, but the self-test belongs to the chip.
+    sim_.after_as(duration, actor_, [this, i, fails, state] {
       --state->remaining;
       if (!fails && !state->resolved) {
         if (sysctl_.read_monitor_arbiter(i)) {
@@ -87,7 +97,10 @@ void Chip::start_timers(TimeNs nominal_period) {
   // A small random phase: chips do not start their tick trains aligned.
   const auto phase = static_cast<TimeNs>(
       rng_.uniform(0.0, static_cast<double>(timer_period_local_)));
-  sim_.after(phase, [this] { timer_tick(); }, sim::EventPriority::Interrupt);
+  // Keyed to this chip's actor: start_all_timers runs at top level but the
+  // whole tick train (and everything it spawns) belongs to the chip.
+  sim_.after_as(phase, actor_, [this] { timer_tick(); },
+                sim::EventPriority::Interrupt);
 }
 
 void Chip::stop_timers() { timers_running_ = false; }

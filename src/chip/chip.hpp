@@ -53,6 +53,13 @@ class Chip {
   const ChipConfig& config() const { return cfg_; }
   const ClockDomain& clock() const { return clock_; }
 
+  /// Deterministic-ordering identity of this chip's event tree (see
+  /// sim/event_queue.hpp).  The machine assigns chip index + 1 right after
+  /// construction, before anything is scheduled; a standalone chip stays on
+  /// the root actor.
+  void set_actor(sim::ActorId actor);
+  sim::ActorId actor() const { return actor_; }
+
   router::Router& router() { return *router_; }
   const router::Router& router() const { return *router_; }
   noc::SystemNoc& system_noc() { return *system_noc_; }
@@ -98,6 +105,7 @@ class Chip {
 
   sim::Simulator& sim_;
   ChipCoord coord_;
+  sim::ActorId actor_ = sim::kRootActor;
   ChipConfig cfg_;
   ClockDomain clock_;
   SystemController sysctl_;

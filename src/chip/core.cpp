@@ -129,7 +129,10 @@ void Core::run_handler(std::uint64_t instructions) {
   const TimeNs busy = clock_.instruction_time(instructions);
   stats_.busy_ns += busy;
   state_ = CoreState::Busy;
-  sim_.after(busy, [this] {
+  // Keyed to the owning chip's actor: start() can be invoked from the
+  // loader (top level) or the boot flood-fill (root-actor events), but the
+  // core's execution belongs to its chip's event tree.
+  sim_.after_as(busy, actor_, [this] {
     // The program may have been migrated away (or the core failed) while
     // this handler was "executing"; only a still-busy core goes back to
     // sleep and re-dispatches.

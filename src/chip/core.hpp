@@ -117,6 +117,9 @@ class Core final : public CoreApi {
   void set_mc_send(McSend send) { mc_send_ = std::move(send); }
   void set_p2p_send(P2pSend send) { p2p_send_ = std::move(send); }
 
+  /// Ordering identity of the owning chip's event tree (set by the chip).
+  void set_actor(sim::ActorId actor) { actor_ = actor; }
+
   void load_program(std::unique_ptr<CoreProgram> program);
   CoreProgram* program() { return program_.get(); }
 
@@ -155,6 +158,7 @@ class Core final : public CoreApi {
 
   sim::Simulator& sim_;
   CoreId id_;
+  sim::ActorId actor_ = sim::kRootActor;
   const ClockDomain& clock_;
   DmaController& dma_;
   Rng rng_;

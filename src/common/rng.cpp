@@ -91,4 +91,12 @@ double Rng::normal(double mean, double stddev) {
 
 Rng Rng::split() { return Rng(next()); }
 
+Rng Rng::fork(std::uint64_t seed, std::uint64_t stream) {
+  // Mix the stream id through SplitMix64 twice so adjacent streams land far
+  // apart in seed space; (seed, stream) -> child seed is a pure function.
+  SplitMix64 sm(seed ^ (0x9E3779B97F4A7C15ull * (stream + 1)));
+  sm.next();
+  return Rng(sm.next());
+}
+
 }  // namespace spinn

@@ -64,7 +64,17 @@ class Rng {
   double normal(double mean = 0.0, double stddev = 1.0);
 
   /// Derive an independent child generator (for per-chip / per-core streams).
+  /// Mutates this generator, so the result depends on how many draws/splits
+  /// preceded it — use only on single-threaded, construction-order-stable
+  /// paths.
   Rng split();
+
+  /// Derive an independent stream keyed by (seed, stream) without any shared
+  /// mutable state: fork(seed, s) is a pure function, so concurrent shards
+  /// can each build their stream with no ordering between them and the
+  /// result never depends on who forked first.  This is the atomic-friendly
+  /// splitting used to seed the sharded engine's per-shard contexts.
+  static Rng fork(std::uint64_t seed, std::uint64_t stream);
 
  private:
   std::uint64_t s_[4];

@@ -2,14 +2,31 @@
 
 #include <stdexcept>
 
+#include "neural/sharded_recorder.hpp"
+#include "sim/sharded_simulator.hpp"
+
 namespace spinn {
 
-System::System(const SystemConfig& cfg) : cfg_(cfg), sim_(cfg.machine.seed) {
-  machine_ = std::make_unique<mesh::Machine>(sim_, cfg_.machine);
+System::System(const SystemConfig& cfg)
+    : cfg_(cfg), engine_(sim::make_engine(cfg.engine, cfg.machine.seed)) {
+  machine_ = std::make_unique<mesh::Machine>(*engine_, cfg_.machine);
+}
+
+System::~System() = default;
+
+neural::SpikeRecorder* System::recording_sink() {
+  if (cfg_.engine.kind != sim::EngineKind::Sharded) return &recorder_;
+  if (!sharded_recorder_) {
+    auto* sharded = dynamic_cast<sim::ShardedSimulator*>(engine_.get());
+    sharded_recorder_ = std::make_unique<neural::ShardedSpikeRecorder>(
+        *sharded, recorder_);
+  }
+  return sharded_recorder_.get();
 }
 
 boot::BootReport System::boot() {
-  boot_ = std::make_unique<boot::BootController>(sim_, *machine_, cfg_.boot);
+  boot_ = std::make_unique<boot::BootController>(engine_->root(), *machine_,
+                                                 cfg_.boot);
   bool finished = false;
   boot::BootReport result;
   boot_->start([&](const boot::BootReport& r) {
@@ -17,20 +34,29 @@ boot::BootReport System::boot() {
     finished = true;
   });
   // The boot protocol is self-timed; drive the simulator until it reports.
-  const TimeNs deadline = sim_.now() + 60 * kSecond;
-  while (!finished && sim_.now() < deadline && !sim_.queue().empty()) {
-    sim_.queue().step();
+  // The boot controller's events touch chips machine-wide, so this phase
+  // always runs through the engine's sequential globally-ordered step.
+  const TimeNs deadline = engine_->now() + 60 * kSecond;
+  while (!finished && engine_->now() < deadline && !engine_->empty()) {
+    engine_->step();
   }
   if (!finished) {
-    result = boot_->report();  // stalled boot: report partial progress
+    // Stalled boot: report partial progress and end the attempt, so any
+    // leftover boot traffic terminates at the chips instead of calling back
+    // into the controller from a later (possibly parallel) run phase.
+    boot_->abandon();
+    result = boot_->report();
   }
+  // Straggler boot events (late flood-fill blocks, acks) may still be
+  // pending; the sharded engine routes root-actor events through its
+  // sequential merge during run(), so they are safe to leave queued.
   return result;
 }
 
 map::LoadReport System::load(const neural::Network& net) {
   loader_ = std::make_unique<map::Loader>(cfg_.mapper);
   Rng rng(cfg_.machine.seed ^ 0x10adD00Dull);
-  return loader_->load(net, *machine_, &recorder_, rng);
+  return loader_->load(net, *machine_, recording_sink(), rng);
 }
 
 void System::run(TimeNs duration) {
@@ -38,7 +64,7 @@ void System::run(TimeNs duration) {
     machine_->start_all_timers();
     timers_started_ = true;
   }
-  sim_.run_until(sim_.now() + duration);
+  engine_->run_until(engine_->now() + duration);
 }
 
 }  // namespace spinn

@@ -4,12 +4,17 @@
 //
 //   spinn::SystemConfig cfg;
 //   cfg.machine.width = 8;  cfg.machine.height = 8;
+//   cfg.engine.kind = sim::EngineKind::Sharded;   // optional: parallel run
 //   spinn::System sys(cfg);
 //   sys.boot();
 //   neural::Network net;  ...populations/projections...
 //   sys.load(net);
 //   sys.run(100 * kMillisecond);
 //   for (auto& e : sys.spikes().events()) ...
+//
+// Results are engine-independent: the sharded engine produces bit-identical
+// spike traces, counters and final state to the serial reference
+// (tests/sharded_sim_test.cpp enforces it).
 #pragma once
 
 #include <memory>
@@ -21,6 +26,7 @@
 #include "mesh/machine.hpp"
 #include "neural/network.hpp"
 #include "neural/spike_record.hpp"
+#include "sim/engine.hpp"
 #include "sim/simulator.hpp"
 
 namespace spinn {
@@ -29,19 +35,23 @@ struct SystemConfig {
   mesh::MachineConfig machine;
   map::MapperConfig mapper;
   boot::BootConfig boot;
+  sim::EngineConfig engine;  // serial reference by default
 };
 
 class System {
  public:
   explicit System(const SystemConfig& cfg = SystemConfig{});
+  ~System();
 
   System(const System&) = delete;
   System& operator=(const System&) = delete;
 
-  sim::Simulator& simulator() { return sim_; }
+  /// Root scheduling context (host-side code and tests schedule here).
+  sim::Simulator& simulator() { return engine_->root(); }
+  sim::ISimulationEngine& engine() { return *engine_; }
   mesh::Machine& machine() { return *machine_; }
   const mesh::Machine& machine() const { return *machine_; }
-  TimeNs now() const { return sim_.now(); }
+  TimeNs now() const { return engine_->now(); }
 
   /// Run the distributed boot sequence (§5.2) to completion and return the
   /// report.  Optional: load() works on an unbooted machine too (the
@@ -65,16 +75,19 @@ class System {
   }
   energy::EnergyBreakdown energy(
       const energy::EnergyParams& params = energy::EnergyParams{}) const {
-    return energy::account(*machine_, sim_.now(), params);
+    return energy::account(*machine_, engine_->now(), params);
   }
 
  private:
+  neural::SpikeRecorder* recording_sink();
+
   SystemConfig cfg_;
-  sim::Simulator sim_;
+  std::unique_ptr<sim::ISimulationEngine> engine_;
   std::unique_ptr<mesh::Machine> machine_;
   std::unique_ptr<boot::BootController> boot_;
   std::unique_ptr<map::Loader> loader_;
   neural::SpikeRecorder recorder_;
+  std::unique_ptr<neural::SpikeRecorder> sharded_recorder_;
   bool timers_started_ = false;
   std::vector<neural::NeuronApp*> no_apps_;
 };

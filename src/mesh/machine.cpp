@@ -5,17 +5,40 @@
 namespace spinn::mesh {
 
 Machine::Machine(sim::Simulator& sim, const MachineConfig& config)
-    : sim_(sim), topo_(config.width, config.height) {
+    : Machine(nullptr, &sim, config) {}
+
+Machine::Machine(sim::ISimulationEngine& engine, const MachineConfig& config)
+    : Machine(&engine, nullptr, config) {}
+
+Machine::Machine(sim::ISimulationEngine* engine, sim::Simulator* sim,
+                 const MachineConfig& config)
+    : topo_(config.width, config.height) {
+  const std::size_t n = topo_.num_chips();
+  if (engine != nullptr) {
+    engine->map_actors(static_cast<sim::ActorId>(n + 1));
+    root_ctx_ = &engine->root();
+    // The conservative parallel window: no cross-shard packet can arrive
+    // sooner than one link flight after it left the far router.
+    engine->constrain_lookahead(config.chip.router.port.flight_ns);
+  } else {
+    root_ctx_ = sim;
+  }
+
   Rng seed_source(config.seed);
-  chips_.reserve(topo_.num_chips());
-  dead_.assign(topo_.num_chips(), false);
-  for (std::size_t i = 0; i < topo_.num_chips(); ++i) {
+  ctx_.reserve(n);
+  chips_.reserve(n);
+  dead_.assign(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    sim::Simulator* ctx =
+        engine != nullptr ? &engine->context_of(actor_of(i)) : sim;
+    ctx_.push_back(ctx);
     chips_.push_back(std::make_unique<chip::Chip>(
-        sim_, topo_.coord_of(i), config.chip, seed_source));
+        *ctx, topo_.coord_of(i), config.chip, seed_source));
+    chips_.back()->set_actor(actor_of(i));
   }
   wire_links();
 
-  host_link_ = std::make_unique<HostLink>(sim_, config.host_link);
+  host_link_ = std::make_unique<HostLink>(*root_ctx_, config.host_link);
   // Frames from the host surface at node (0,0)'s monitor handler; the chip
   // owner (boot firmware, application loader) registers that handler.
 }
@@ -27,14 +50,23 @@ void Machine::wire_links() {
     for (int l = 0; l < kLinksPerChip; ++l) {
       const auto d = static_cast<LinkDir>(l);
       const ChipCoord nc = topo_.neighbour(c, d);
-      chip::Chip& target = chip_at(nc);
-      // A packet leaving `c` on link d arrives at the neighbour's port
-      // opposite(d).
+      const std::size_t j = topo_.index(nc);
+      chip::Chip* target = chips_[j].get();
+      // The port hands the packet over at wire departure; the machine owns
+      // the flight so the delivery can be a cross-actor handoff executing
+      // under the receiving chip (and, under the sharded engine, on the
+      // receiving chip's shard) with flight_ns of lookahead still ahead.
       source.router().port(d).set_sink(
-          [this, &target, nc, d](const router::Packet& p) {
-            if (dead_[topo_.index(nc)]) return;  // dead chip swallows input
-            target.router().receive(p, opposite(d));
-          });
+          [this, i, j, target, d](const router::Packet& p) {
+            ctx_[i]->handoff(
+                target->config().router.port.flight_ns, actor_of(j),
+                [this, j, target, d, p] {
+                  if (dead_[j]) return;  // dead chip swallows input
+                  target->router().receive(p, opposite(d));
+                },
+                sim::EventPriority::Fabric);
+          },
+          router::OutputPort::SinkTiming::Departure);
     }
   }
 }

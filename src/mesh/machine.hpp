@@ -12,6 +12,7 @@
 #include "common/types.hpp"
 #include "mesh/host_link.hpp"
 #include "mesh/topology.hpp"
+#include "sim/engine.hpp"
 #include "sim/simulator.hpp"
 
 namespace spinn::mesh {
@@ -26,10 +27,22 @@ struct MachineConfig {
 
 class Machine {
  public:
+  /// Serial construction: every chip schedules against the one `sim`.
   Machine(sim::Simulator& sim, const MachineConfig& config);
+
+  /// Engine-aware construction: the engine partitions chips across shards
+  /// (chip i is actor i+1); each chip receives its shard's context and
+  /// cross-shard link traffic rides the engine's mailboxes.  Works with the
+  /// serial engine too (everything collapses onto one context).
+  Machine(sim::ISimulationEngine& engine, const MachineConfig& config);
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
+
+  /// Ordering actor of the chip at linear index i.
+  sim::ActorId actor_of(std::size_t chip_index) const {
+    return static_cast<sim::ActorId>(chip_index + 1);
+  }
 
   const Topology& topology() const { return topo_; }
   std::uint16_t width() const { return topo_.width(); }
@@ -71,10 +84,14 @@ class Machine {
   void stop_all_timers();
 
  private:
+  Machine(sim::ISimulationEngine* engine, sim::Simulator* sim,
+          const MachineConfig& config);
   void wire_links();
 
-  sim::Simulator& sim_;
   Topology topo_;
+  /// Per-chip scheduling context (all identical under serial construction).
+  std::vector<sim::Simulator*> ctx_;
+  sim::Simulator* root_ctx_ = nullptr;
   std::vector<std::unique_ptr<chip::Chip>> chips_;
   std::vector<bool> dead_;
   std::unique_ptr<HostLink> host_link_;

@@ -56,6 +56,9 @@ class NeuronApp final : public chip::CoreProgram {
 
   const SliceConfig& config() const { return cfg_; }
   RowStore& rows() { return *rows_; }
+  /// Membrane state, for engine-equivalence checks (null for source models).
+  const LifSlice* lif() const { return lif_.get(); }
+  const IzhSlice* izh() const { return izh_.get(); }
   std::uint64_t spikes_emitted() const { return spikes_emitted_; }
   std::uint64_t rows_processed() const { return rows_processed_; }
   std::uint64_t synaptic_events() const { return synaptic_events_; }

@@ -1,0 +1,67 @@
+// Spike recording under the sharded engine.
+//
+// The base SpikeRecorder is a single append-only vector — exactly what
+// worker threads must not share.  This front-end gives every shard its own
+// buffer (appended to only by the shard's owning thread), stamps each entry
+// with the ordering key of the event that emitted it, and merges the buffers
+// into the target recorder at the engine's window barriers.  Because the
+// ordering keys are shard-stable (sim/event_queue.hpp), the merged sequence
+// is bit-identical to what the serial engine records directly.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "neural/spike_record.hpp"
+#include "sim/sharded_simulator.hpp"
+
+namespace spinn::neural {
+
+class ShardedSpikeRecorder final : public SpikeRecorder {
+ public:
+  ShardedSpikeRecorder(sim::ShardedSimulator& engine, SpikeRecorder& target)
+      : target_(target), buffers_(engine.num_shards()) {
+    engine.add_window_hook([this](TimeNs) { merge(); });
+  }
+
+  void record(TimeNs time, RoutingKey key) override {
+    sim::Simulator* ctx = sim::ShardedSimulator::current_context();
+    if (ctx == nullptr) {
+      // Outside event execution (single-threaded setup code).
+      target_.record(time, key);
+      return;
+    }
+    buffers_[ctx->shard()].push_back(
+        Pending{ctx->queue().current_key(), Event{time, key}});
+  }
+
+ private:
+  struct Pending {
+    sim::EventKey order;
+    Event event;
+  };
+
+  /// Runs single-threaded at every window barrier: all events below the
+  /// committed horizon have executed, so sorting by key reconstructs the
+  /// serial global order.  Spikes emitted within one event share its key and
+  /// live in one buffer, so the stable sort keeps their emission order.
+  void merge() {
+    scratch_.clear();
+    for (auto& buf : buffers_) {
+      scratch_.insert(scratch_.end(), buf.begin(), buf.end());
+      buf.clear();
+    }
+    if (scratch_.empty()) return;
+    std::stable_sort(scratch_.begin(), scratch_.end(),
+                     [](const Pending& a, const Pending& b) {
+                       return a.order < b.order;
+                     });
+    for (const auto& p : scratch_) target_.record(p.event.time, p.event.key);
+  }
+
+  SpikeRecorder& target_;
+  std::vector<std::vector<Pending>> buffers_;
+  std::vector<Pending> scratch_;
+};
+
+}  // namespace spinn::neural

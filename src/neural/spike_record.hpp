@@ -19,7 +19,11 @@ class SpikeRecorder {
     RoutingKey key = 0;
   };
 
-  void record(TimeNs time, RoutingKey key) {
+  virtual ~SpikeRecorder() = default;
+
+  /// Virtual so the sharded engine can substitute a per-shard buffering
+  /// front-end (neural/sharded_recorder.hpp) without the apps noticing.
+  virtual void record(TimeNs time, RoutingKey key) {
     events_.push_back(Event{time, key});
   }
 

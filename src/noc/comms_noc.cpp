@@ -19,7 +19,7 @@ void CommsNoc::start_next() {
   inject_queue_.pop_front();
   const double sec = static_cast<double>(p.bits()) / cfg_.bits_per_sec;
   const auto serialize = static_cast<TimeNs>(std::ceil(sec * 1e9));
-  sim_.after(serialize, [this, p] {
+  sim_.after_as(serialize, actor_, [this, p] {
     ++injected_;
     if (router_sink_) router_sink_(p);
     busy_ = false;
@@ -28,7 +28,7 @@ void CommsNoc::start_next() {
 }
 
 void CommsNoc::deliver(CoreIndex core, const router::Packet& p) {
-  sim_.after(cfg_.delivery_latency_ns, [this, core, p] {
+  sim_.after_as(cfg_.delivery_latency_ns, actor_, [this, core, p] {
     if (core_sink_) core_sink_(core, p);
   }, sim::EventPriority::Fabric);
 }

@@ -34,6 +34,9 @@ class CommsNoc {
   void set_router_sink(RouterSink sink) { router_sink_ = std::move(sink); }
   void set_core_sink(CoreSink sink) { core_sink_ = std::move(sink); }
 
+  /// Ordering identity of the owning chip's event tree (set by the chip).
+  void set_actor(sim::ActorId actor) { actor_ = actor; }
+
   /// A core injects a packet towards the router.
   void inject(const router::Packet& p);
 
@@ -46,6 +49,7 @@ class CommsNoc {
   void start_next();
 
   sim::Simulator& sim_;
+  sim::ActorId actor_ = sim::kRootActor;
   CommsNocConfig cfg_;
   RouterSink router_sink_;
   CoreSink core_sink_;

@@ -28,7 +28,7 @@ void SystemNoc::start_next() {
   bytes_transferred_ += req.bytes;
   ++transfers_;
 
-  sim_.after(service, [this, done = std::move(req.done)] {
+  sim_.after_as(service, actor_, [this, done = std::move(req.done)] {
     if (done) done();
     busy_ = false;
     start_next();

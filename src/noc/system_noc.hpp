@@ -33,6 +33,9 @@ class SystemNoc {
   /// Queue a transfer of `bytes`; `done` fires when the last beat lands.
   void transfer(std::uint32_t bytes, Completion done);
 
+  /// Ordering identity of the owning chip's event tree (set by the chip).
+  void set_actor(sim::ActorId actor) { actor_ = actor; }
+
   std::uint64_t bytes_transferred() const { return bytes_transferred_; }
   std::uint64_t transfers() const { return transfers_; }
   /// Total time the SDRAM port spent busy (for utilisation/energy).
@@ -49,6 +52,7 @@ class SystemNoc {
   void start_next();
 
   sim::Simulator& sim_;
+  sim::ActorId actor_ = sim::kRootActor;
   SystemNocConfig cfg_;
   std::deque<Request> queue_;
   bool busy_ = false;

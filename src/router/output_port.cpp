@@ -29,8 +29,8 @@ void OutputPort::start_service() {
   fifo_.pop_front();
   const double sec = static_cast<double>(in_flight_.bits()) / cfg_.bits_per_sec;
   const auto serialize_ns = static_cast<TimeNs>(std::ceil(sec * 1e9));
-  sim_.after(serialize_ns, [this] { finish_service(); },
-             sim::EventPriority::Fabric);
+  sim_.after_as(serialize_ns, actor_, [this] { finish_service(); },
+                sim::EventPriority::Fabric);
 }
 
 void OutputPort::finish_service() {
@@ -45,8 +45,13 @@ void OutputPort::finish_service() {
   const Packet delivered = in_flight_;
   busy_ = false;
   if (sink_) {
-    sim_.after(cfg_.flight_ns, [this, delivered] { sink_(delivered); },
-               sim::EventPriority::Fabric);
+    if (sink_timing_ == SinkTiming::Departure) {
+      sink_(delivered);
+    } else {
+      sim_.after_as(cfg_.flight_ns, actor_,
+                    [this, delivered] { sink_(delivered); },
+                    sim::EventPriority::Fabric);
+    }
   }
   if (!fifo_.empty()) start_service();
 }

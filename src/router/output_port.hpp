@@ -28,12 +28,31 @@ struct OutputPortConfig {
 
 class OutputPort {
  public:
-  /// Called when a packet has fully crossed the link (far-end arrival).
   using Sink = std::function<void(const Packet&)>;
+
+  /// When the sink fires relative to the link flight time.
+  enum class SinkTiming : std::uint8_t {
+    /// Sink runs at far-end arrival: serialization + flight_ns after the
+    /// packet starts transmitting.  The port schedules the flight itself.
+    Arrival,
+    /// Sink runs synchronously at end-of-serialization (wire departure);
+    /// the wiring owns the flight delay.  The machine uses this so a
+    /// cross-shard delivery can be posted with its full flight_ns of
+    /// lookahead still ahead of it.
+    Departure,
+  };
 
   OutputPort(sim::Simulator& sim, const OutputPortConfig& config);
 
-  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void set_sink(Sink sink, SinkTiming timing = SinkTiming::Arrival) {
+    sink_ = std::move(sink);
+    sink_timing_ = timing;
+  }
+
+  /// Ordering identity of the owning chip's event tree.  Keys the port's
+  /// events engine-independently even when the port is poked from a
+  /// foreign actor's event (boot-phase sends).
+  void set_actor(sim::ActorId actor) { actor_ = actor; }
 
   /// True if the port accepted the packet; false when blocked (full/failed
   /// with no room).
@@ -56,7 +75,9 @@ class OutputPort {
 
   sim::Simulator& sim_;
   OutputPortConfig cfg_;
+  sim::ActorId actor_ = sim::kRootActor;
   Sink sink_;
+  SinkTiming sink_timing_ = SinkTiming::Arrival;
   std::deque<Packet> fifo_;
   bool busy_ = false;     // a packet is currently serializing
   Packet in_flight_{};

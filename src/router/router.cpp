@@ -10,12 +10,17 @@ Router::Router(sim::Simulator& sim, ChipCoord coord,
   }
 }
 
+void Router::set_actor(sim::ActorId actor) {
+  actor_ = actor;
+  for (auto& p : ports_) p->set_actor(actor);
+}
+
 void Router::receive(Packet p, std::optional<LinkDir> in) {
   ++counters_.received;
   ++p.hops;
   // One pass through the router pipeline, then route.
-  sim_.after(cfg_.pipeline_latency_ns,
-             [this, p, in] { dispatch(p, in); }, sim::EventPriority::Fabric);
+  sim_.after_as(cfg_.pipeline_latency_ns, actor_,
+                [this, p, in] { dispatch(p, in); }, sim::EventPriority::Fabric);
 }
 
 void Router::dispatch(Packet p, std::optional<LinkDir> in) {
@@ -117,9 +122,9 @@ void Router::try_output(LinkDir d, Packet p) {
     return;
   }
   // Stage 1: wait a programmable time, then look again.
-  sim_.after(cfg_.emergency_wait_ns,
-             [this, d, p] { retry_after_wait(d, p); },
-             sim::EventPriority::Fabric);
+  sim_.after_as(cfg_.emergency_wait_ns, actor_,
+                [this, d, p] { retry_after_wait(d, p); },
+                sim::EventPriority::Fabric);
 }
 
 void Router::retry_after_wait(LinkDir d, Packet p) {
@@ -147,8 +152,9 @@ void Router::try_emergency(LinkDir d, Packet p) {
     }
   }
   // Stage 2: emergency path unavailable too; wait once more, then give up.
-  sim_.after(cfg_.drop_wait_ns, [this, d, p] { final_attempt(d, p); },
-             sim::EventPriority::Fabric);
+  sim_.after_as(cfg_.drop_wait_ns, actor_,
+                [this, d, p] { final_attempt(d, p); },
+                sim::EventPriority::Fabric);
 }
 
 void Router::final_attempt(LinkDir d, Packet p) {

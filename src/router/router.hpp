@@ -88,6 +88,12 @@ class Router {
     return *ports_[static_cast<int>(d)];
   }
 
+  /// Ordering identity of the owning chip's event tree (set by the chip;
+  /// cascades to the output ports).  Keeps the router's pipeline/retry
+  /// events keyed engine-independently even when a foreign actor's event
+  /// (boot-phase nn sends) pokes the router on an idle queue.
+  void set_actor(sim::ActorId actor);
+
   void set_local_sink(LocalSink sink) { local_sink_ = std::move(sink); }
   void set_monitor_sink(MonitorSink sink) { monitor_sink_ = std::move(sink); }
   void set_monitor_notify(MonitorNotify notify) {
@@ -118,6 +124,7 @@ class Router {
 
   sim::Simulator& sim_;
   ChipCoord coord_;
+  sim::ActorId actor_ = sim::kRootActor;
   RouterConfig cfg_;
   MulticastTable mc_table_;
   P2pTable p2p_table_;

@@ -1,0 +1,137 @@
+// The simulation-engine abstraction: one machine model, two execution
+// strategies.
+//
+// The paper's GALS argument (§3, §4) is that a million-core machine can only
+// be built as locally-synchronous islands stitched by an asynchronous,
+// bounded-latency fabric.  The simulator mirrors that structure at the host
+// level: the *serial* engine runs everything through one event queue (the
+// reference implementation), while the *sharded* engine partitions the chip
+// mesh into per-shard queues driven by worker threads and synchronised with
+// a conservative bounded-asynchrony window equal to the minimum inter-shard
+// link latency.  Both produce bit-identical observable results — the
+// determinism-equivalence suite (tests/sharded_sim_test.cpp) enforces it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace spinn::sim {
+
+enum class EngineKind : std::uint8_t {
+  Serial,   // single event queue, single thread — the reference
+  Sharded,  // per-shard queues, worker threads, conservative windows
+};
+
+struct EngineConfig {
+  EngineKind kind = EngineKind::Serial;
+  /// Number of shards the chip mesh is partitioned into (contiguous
+  /// chip-index regions, which matches the linear-scan placement so most
+  /// traffic stays intra-shard).  0 = one shard per hardware thread.
+  std::uint32_t shards = 0;
+  /// Worker threads driving the shards.  0 = min(shards, hardware threads).
+  /// Thread count never affects results, only wall-clock time.
+  std::uint32_t threads = 0;
+};
+
+/// Engine interface shared by the serial reference and the sharded engine.
+/// Scenario code (core::System, tests, benches) drives simulation time
+/// through this; components keep scheduling against their Simulator context.
+class ISimulationEngine {
+ public:
+  virtual ~ISimulationEngine() = default;
+
+  /// Context of the root actor (host-side code, boot controller, tests).
+  virtual Simulator& root() = 0;
+  virtual const Simulator& root() const = 0;
+
+  /// Partition actors 0..num_actors-1 across shards (actor 0 stays with the
+  /// root context).  Called once by the machine wiring before any
+  /// context_of() request.
+  virtual void map_actors(ActorId num_actors) = 0;
+
+  /// Scheduling context owning `actor`'s events.
+  virtual Simulator& context_of(ActorId actor) = 0;
+
+  virtual std::size_t num_shards() const = 0;
+
+  /// Committed global time: the maximum any shard has reached.
+  virtual TimeNs now() const = 0;
+
+  /// Execute the single globally-earliest pending event (sequential merge
+  /// across shards).  Returns false when nothing is pending.  Safe for
+  /// phases whose events touch state across shards (the boot protocol).
+  virtual bool step() = 0;
+
+  /// Advance to `until` (events at exactly `until` still run).
+  virtual std::uint64_t run_until(TimeNs until) = 0;
+
+  /// Run until every queue drains.
+  virtual std::uint64_t run() = 0;
+
+  virtual bool empty() const = 0;
+  virtual std::size_t pending() const = 0;
+  virtual std::uint64_t executed() const = 0;
+
+  /// Tighten the conservative parallel window: cross-shard handoffs are
+  /// guaranteed to arrive at least `lookahead` after their send time.  The
+  /// machine wiring calls this with the minimum inter-shard link latency.
+  virtual void constrain_lookahead(TimeNs lookahead) { (void)lookahead; }
+
+  /// `hook(horizon)` runs single-threaded after every committed window and
+  /// at the end of each run_until()/run(), with all events below `horizon`
+  /// executed.  Used to merge per-shard observation buffers (spike records)
+  /// back into deterministic global order.
+  virtual void add_window_hook(std::function<void(TimeNs)> hook) = 0;
+};
+
+/// The reference implementation: one Simulator, one queue, zero threads.
+class SerialEngine final : public ISimulationEngine {
+ public:
+  explicit SerialEngine(std::uint64_t seed = 1) : sim_(seed) {}
+
+  Simulator& root() override { return sim_; }
+  const Simulator& root() const override { return sim_; }
+  void map_actors(ActorId num_actors) override { (void)num_actors; }
+  Simulator& context_of(ActorId actor) override {
+    (void)actor;
+    return sim_;
+  }
+  std::size_t num_shards() const override { return 1; }
+  TimeNs now() const override { return sim_.now(); }
+  bool step() override { return sim_.queue().step(); }
+  std::uint64_t run_until(TimeNs until) override {
+    const std::uint64_t n = sim_.run_until(until);
+    fire_hooks(until);
+    return n;
+  }
+  std::uint64_t run() override {
+    const std::uint64_t n = sim_.run();
+    fire_hooks(sim_.now());
+    return n;
+  }
+  bool empty() const override { return sim_.queue().empty(); }
+  std::size_t pending() const override { return sim_.queue().pending(); }
+  std::uint64_t executed() const override { return sim_.queue().executed(); }
+  void add_window_hook(std::function<void(TimeNs)> hook) override {
+    hooks_.push_back(std::move(hook));
+  }
+
+ private:
+  void fire_hooks(TimeNs horizon) {
+    for (auto& h : hooks_) h(horizon);
+  }
+
+  Simulator sim_;
+  std::vector<std::function<void(TimeNs)>> hooks_;
+};
+
+/// Build an engine from config; `seed` seeds the root context's RNG (and,
+/// for the sharded engine, forks every shard context's stream from it).
+std::unique_ptr<ISimulationEngine> make_engine(const EngineConfig& cfg,
+                                               std::uint64_t seed);
+
+}  // namespace spinn::sim

@@ -5,12 +5,25 @@
 
 namespace spinn::sim {
 
-void EventQueue::schedule_at(TimeNs when, EventAction action,
-                             EventPriority priority) {
+std::uint64_t EventQueue::next_seq(ActorId actor) {
+  if (actor >= seq_.size()) seq_.resize(actor + 1, 0);
+  return seq_[actor]++;
+}
+
+void EventQueue::push(TimeNs when, EventPriority priority, ActorId key_actor,
+                      ActorId exec_actor, EventAction action) {
   if (when < now_) {
     throw std::logic_error("EventQueue: scheduling into the past");
   }
-  heap_.push(Entry{when, priority, next_seq_++, std::move(action)});
+  if (exec_actor == kRootActor) ++root_exec_pending_;
+  heap_.push(Entry{EventKey{when, priority, key_actor, next_seq(key_actor)},
+                   exec_actor, std::move(action)});
+}
+
+void EventQueue::schedule_at(TimeNs when, EventAction action,
+                             EventPriority priority) {
+  push(when, priority, current_exec_actor_, current_exec_actor_,
+       std::move(action));
 }
 
 void EventQueue::schedule_in(TimeNs delay, EventAction action,
@@ -18,25 +31,62 @@ void EventQueue::schedule_in(TimeNs delay, EventAction action,
   schedule_at(now_ + delay, std::move(action), priority);
 }
 
+void EventQueue::schedule_at_as(TimeNs when, ActorId actor,
+                                EventAction action, EventPriority priority) {
+  push(when, priority, actor, actor, std::move(action));
+}
+
+void EventQueue::schedule_in_as(TimeNs delay, ActorId actor,
+                                EventAction action, EventPriority priority) {
+  schedule_at_as(now_ + delay, actor, std::move(action), priority);
+}
+
+void EventQueue::schedule_handoff(TimeNs when, ActorId exec_actor,
+                                  EventAction action, EventPriority priority) {
+  push(when, priority, current_exec_actor_, exec_actor, std::move(action));
+}
+
+EventKey EventQueue::make_handoff_key(TimeNs when, EventPriority priority) {
+  return EventKey{when, priority, current_exec_actor_,
+                  next_seq(current_exec_actor_)};
+}
+
+void EventQueue::insert_foreign(const EventKey& key, ActorId exec_actor,
+                                EventAction action) {
+  if (key.when < now_) {
+    throw std::logic_error("EventQueue: foreign event in the past");
+  }
+  if (exec_actor == kRootActor) ++root_exec_pending_;
+  heap_.push(Entry{key, exec_actor, std::move(action)});
+}
+
 bool EventQueue::step() {
   if (heap_.empty()) return false;
   // priority_queue::top() is const&; we must copy the action out before pop.
   Entry entry = heap_.top();
   heap_.pop();
-  now_ = entry.when;
+  if (entry.exec_actor == kRootActor) --root_exec_pending_;
+  now_ = entry.key.when;
   ++executed_;
+  executing_ = true;
+  current_key_ = entry.key;
+  current_exec_actor_ = entry.exec_actor;
+  // Reset the execution context even if the action throws (the engine's
+  // fail-fast checks do), so later scheduling isn't silently mis-keyed to a
+  // stale actor.
+  struct ResetContext {
+    EventQueue* q;
+    ~ResetContext() {
+      q->executing_ = false;
+      q->current_exec_actor_ = kRootActor;
+    }
+  } reset{this};
   entry.action();
   return true;
 }
 
 std::uint64_t EventQueue::run_until(TimeNs until) {
-  std::uint64_t count = 0;
-  while (!heap_.empty() && heap_.top().when <= until) {
-    step();
-    ++count;
-  }
-  if (now_ < until) now_ = until;
-  return count;
+  return run_window(until, /*inclusive=*/true);
 }
 
 std::uint64_t EventQueue::run() {
@@ -45,8 +95,20 @@ std::uint64_t EventQueue::run() {
   return count;
 }
 
+std::uint64_t EventQueue::run_window(TimeNs bound, bool inclusive) {
+  std::uint64_t count = 0;
+  while (!heap_.empty() && (inclusive ? heap_.top().key.when <= bound
+                                      : heap_.top().key.when < bound)) {
+    step();
+    ++count;
+  }
+  if (now_ < bound) now_ = bound;
+  return count;
+}
+
 void EventQueue::clear() {
   while (!heap_.empty()) heap_.pop();
+  root_exec_pending_ = 0;
 }
 
 }  // namespace spinn::sim

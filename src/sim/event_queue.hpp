@@ -2,8 +2,17 @@
 //
 // Everything in the simulator — packet hops, DMA completions, 1 ms timer
 // interrupts, glitches on self-timed wires — is an event.  Events at equal
-// timestamps are ordered by (priority, insertion sequence) so runs are fully
-// deterministic regardless of container internals.
+// timestamps are ordered by (priority, actor, per-actor sequence) so runs
+// are fully deterministic regardless of container internals.
+//
+// The *actor* in the key is the shard-stable replacement for a global
+// insertion counter: each actor (one per chip, plus actor 0 for the host /
+// test harness) numbers the events it schedules with its own counter, and
+// every event inherits the actor of the event that scheduled it.  Because an
+// actor executes its own events in a deterministic order whatever engine is
+// driving the queue(s), the keys — and therefore the total event order — are
+// identical whether the machine runs on the serial engine's single queue or
+// on the sharded engine's per-shard queues (see sim/sharded_simulator.hpp).
 #pragma once
 
 #include <cstdint>
@@ -26,6 +35,29 @@ enum class EventPriority : std::uint8_t {
 
 using EventAction = std::function<void()>;
 
+/// Actor whose state an event belongs to.  0 is the root actor (host-side
+/// code, tests, the boot controller); chips are numbered from 1.
+using ActorId = std::uint32_t;
+
+inline constexpr ActorId kRootActor = 0;
+
+/// The full deterministic ordering key of one event.  Strict weak order:
+/// (when, priority, actor, seq); (actor, seq) pairs are unique, so the order
+/// is total.
+struct EventKey {
+  TimeNs when = 0;
+  EventPriority priority = EventPriority::Default;
+  ActorId actor = kRootActor;
+  std::uint64_t seq = 0;
+
+  friend constexpr bool operator<(const EventKey& a, const EventKey& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.priority != b.priority) return a.priority < b.priority;
+    if (a.actor != b.actor) return a.actor < b.actor;
+    return a.seq < b.seq;
+  }
+};
+
 class EventQueue {
  public:
   EventQueue() = default;
@@ -34,12 +66,44 @@ class EventQueue {
   TimeNs now() const { return now_; }
 
   /// Schedule `action` to run at absolute time `when` (must be >= now()).
+  /// The event is keyed to — and will execute under — the currently
+  /// executing actor (kRootActor when called outside event execution).
   void schedule_at(TimeNs when, EventAction action,
                    EventPriority priority = EventPriority::Default);
 
   /// Schedule `action` after a relative delay.
   void schedule_in(TimeNs delay, EventAction action,
                    EventPriority priority = EventPriority::Default);
+
+  /// Schedule an event keyed to and executing under an explicit actor.
+  /// Used at the non-event entry points into a component's event tree
+  /// (starting a chip's timers, kicking off its self-test) so the tree is
+  /// numbered by its owner rather than by whoever poked it.  The caller must
+  /// have exclusive access to `actor`'s sequence counter — true for all
+  /// setup/boot paths, which are single-threaded.
+  void schedule_at_as(TimeNs when, ActorId actor, EventAction action,
+                      EventPriority priority = EventPriority::Default);
+  void schedule_in_as(TimeNs delay, ActorId actor, EventAction action,
+                      EventPriority priority = EventPriority::Default);
+
+  /// Schedule a cross-actor handoff: the event is *keyed* to the current
+  /// actor (sender side, so the key can be computed where the send happens)
+  /// but *executes* under `exec_actor` (receiver side, so everything it
+  /// schedules belongs to the receiver).  This is the packet-delivery
+  /// primitive the sharded engine routes through mailboxes.
+  void schedule_handoff(TimeNs when, ActorId exec_actor, EventAction action,
+                        EventPriority priority = EventPriority::Default);
+
+  /// Reserve the next sequence number of the currently executing actor and
+  /// return the full key for an event at (when, priority).  Used by the
+  /// sharded engine to stamp a mailbox entry on the sender's queue before
+  /// shipping it to the destination shard.
+  EventKey make_handoff_key(TimeNs when, EventPriority priority);
+
+  /// Insert an event carrying an externally assigned key (a drained mailbox
+  /// entry).  `key.when` must be >= now().  Does not touch any counter.
+  void insert_foreign(const EventKey& key, ActorId exec_actor,
+                      EventAction action);
 
   /// Run the earliest pending event.  Returns false if the queue is empty.
   bool step();
@@ -51,31 +115,70 @@ class EventQueue {
   /// Run until the queue drains.
   std::uint64_t run();
 
+  /// Bounded-window execution for the sharded engine: run events with
+  /// when < bound (inclusive = false) or when <= bound (inclusive = true),
+  /// then advance now() to bound.  Returns the number of events executed.
+  std::uint64_t run_window(TimeNs bound, bool inclusive);
+
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
   std::uint64_t executed() const { return executed_; }
 
+  /// Key of the earliest pending event.  Only valid when !empty().
+  const EventKey& peek_key() const { return heap_.top().key; }
+
+  /// Number of pending events that will execute under the root actor.
+  /// Root events (boot controller, host-side code) may reach across shard
+  /// boundaries, so the sharded engine keeps the sequential merge engaged
+  /// while any are pending.
+  std::size_t root_exec_pending() const { return root_exec_pending_; }
+
+  /// True while an event's action is being executed by this queue.
+  bool executing() const { return executing_; }
+  /// Key of the event currently being executed (valid while executing()).
+  const EventKey& current_key() const { return current_key_; }
+  /// Actor the current event executes under (kRootActor when idle).
+  ActorId current_actor() const { return current_exec_actor_; }
+
+  /// Advance the clock without executing anything (never moves backwards).
+  /// The sharded engine's sequential merge uses this to keep every shard's
+  /// clock at the global time before each step, so code invoked across
+  /// actor boundaries (the boot protocol) sees the same now() it would see
+  /// on the serial engine's single clock.
+  void advance_to(TimeNs t) {
+    if (now_ < t) now_ = t;
+  }
+
   /// Drop every pending event (used when tearing down a scenario).
+  /// Sequence counters are retained so keys never repeat within a run.
   void clear();
 
  private:
   struct Entry {
-    TimeNs when;
-    EventPriority priority;
-    std::uint64_t seq;
+    EventKey key;
+    ActorId exec_actor = kRootActor;
     EventAction action;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      if (a.priority != b.priority) return a.priority > b.priority;
-      return a.seq > b.seq;
+      return b.key < a.key;
     }
   };
 
+  std::uint64_t next_seq(ActorId actor);
+  void push(TimeNs when, EventPriority priority, ActorId key_actor,
+            ActorId exec_actor, EventAction action);
+
   TimeNs now_ = 0;
-  std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t root_exec_pending_ = 0;
+  bool executing_ = false;
+  ActorId current_exec_actor_ = kRootActor;
+  EventKey current_key_{};
+  /// Per-actor sequence counters, indexed by ActorId and grown on demand.
+  /// An actor's counter lives in its home queue: only code executing under
+  /// that actor (or single-threaded setup code) may draw from it.
+  std::vector<std::uint64_t> seq_;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
 };
 

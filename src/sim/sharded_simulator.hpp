@@ -1,0 +1,141 @@
+// The sharded parallel simulation engine.
+//
+// The chip mesh is partitioned into contiguous chip-index regions, one event
+// queue per shard, driven by a pool of worker threads.  Synchronisation is a
+// conservative bounded-asynchrony window equal to the minimum inter-shard
+// link latency (the same lookahead argument arbor uses with the minimum
+// synaptic delay, and the same GALS argument the simulated machine itself is
+// built on): within a window [T0, T0+W) every shard runs independently,
+// because no cross-shard packet sent inside the window can arrive before
+// T0+W.  Cross-shard deliveries are posted into the destination shard's
+// mailbox and become visible at the next window barrier.
+//
+// Determinism: events are ordered by the shard-stable (when, priority,
+// actor, seq) key (see sim/event_queue.hpp).  Mailbox entries carry the key
+// stamped on the sender's queue, so the merged per-shard order equals the
+// serial engine's global order projected onto each shard — observable
+// results are bit-identical to the serial reference for any shard or thread
+// count.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace spinn::sim {
+
+class ShardedSimulator final : public ISimulationEngine {
+ public:
+  /// `shards`/`threads` of 0 mean "one per hardware thread".
+  ShardedSimulator(std::uint64_t seed, std::uint32_t shards,
+                   std::uint32_t threads);
+  ~ShardedSimulator() override;
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  // ISimulationEngine -------------------------------------------------------
+  Simulator& root() override { return *shards_.front().ctx; }
+  const Simulator& root() const override { return *shards_.front().ctx; }
+  void map_actors(ActorId num_actors) override;
+  Simulator& context_of(ActorId actor) override;
+  std::size_t num_shards() const override { return shards_.size(); }
+  TimeNs now() const override;
+  bool step() override;
+  std::uint64_t run_until(TimeNs until) override;
+  std::uint64_t run() override;
+  bool empty() const override;
+  std::size_t pending() const override;
+  std::uint64_t executed() const override;
+  void constrain_lookahead(TimeNs lookahead) override;
+  void add_window_hook(std::function<void(TimeNs)> hook) override {
+    hooks_.push_back(std::move(hook));
+  }
+
+  // Sharded-specific --------------------------------------------------------
+  /// Route a cross-actor handoff from `src`'s shard (called by
+  /// Simulator::handoff).  Same shard: local insert.  Different shard:
+  /// direct insert when single-threaded, mailbox during parallel windows.
+  void post_handoff(Simulator& src, TimeNs delay, ActorId exec_actor,
+                    EventAction action, EventPriority priority);
+
+  /// Shard context executing an event on the calling thread right now
+  /// (null when idle).  Observation sinks (spike recording) use this to
+  /// find their shard-local buffer.
+  static Simulator* current_context();
+
+  /// Conservative window width currently in force (0 = not yet constrained,
+  /// which forces sequential execution).
+  TimeNs lookahead() const { return lookahead_; }
+
+  std::uint32_t shard_of_actor(ActorId actor) const {
+    return shard_of_actor_[actor];
+  }
+
+ private:
+  struct Mail {
+    EventKey key;
+    ActorId exec_actor = kRootActor;
+    EventAction action;
+  };
+  struct Shard {
+    std::unique_ptr<Simulator> ctx;
+    /// Outgoing cross-shard events, one slot per destination shard.
+    /// Written only by the shard's owning worker, drained only by the
+    /// coordinator at window barriers.
+    std::vector<std::vector<Mail>> outbox;
+  };
+
+  std::uint64_t sequential_run_until(TimeNs until);
+  std::uint64_t parallel_run_until(TimeNs until);
+  /// Pending root-exec events summed across every shard's queue.
+  std::size_t root_exec_pending_total() const;
+  /// Index of the shard holding the globally-earliest event with
+  /// when <= limit, or -1.
+  int min_head_shard(TimeNs limit) const;
+  /// Execute `shard`'s head event with all shard clocks synced to it.
+  void step_shard(std::size_t shard);
+  void run_slice(std::uint32_t worker, TimeNs bound, bool inclusive);
+  void drain_mailboxes();
+  void fire_hooks(TimeNs horizon);
+  void ensure_workers();
+  void release_window();
+  void await_workers();
+  void worker_main(std::uint32_t worker);
+
+  std::vector<Shard> shards_;
+  std::vector<std::uint32_t> shard_of_actor_{0};  // actor 0 -> shard 0
+  ActorId mapped_actors_ = 1;
+  TimeNs lookahead_ = 0;
+  std::vector<std::function<void(TimeNs)>> hooks_;
+
+  // Worker pool (spawned lazily on the first parallel run).
+  std::uint32_t num_threads_;
+  std::uint32_t pool_threads_ = 0;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> phase_{0};
+  std::atomic<std::uint32_t> done_{0};
+  std::atomic<std::uint32_t> sleepers_{0};
+  std::atomic<bool> shutdown_{false};
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  /// First exception thrown inside a window slice; rethrown by the
+  /// coordinator after the barrier.
+  std::mutex error_mutex_;
+  std::exception_ptr pending_error_;
+  // Published before the phase release, read by workers after the acquire.
+  TimeNs window_bound_ = 0;
+  bool window_inclusive_ = false;
+  bool parallel_active_ = false;
+  std::atomic<std::uint64_t> window_executed_{0};
+};
+
+}  // namespace spinn::sim

@@ -1,6 +1,11 @@
-// Top-level simulation context: the event queue plus the root deterministic
-// RNG.  Components receive a Simulator& at construction and schedule events
-// against it; nothing touches global state.
+// The scheduling context components hold: an event queue plus a root
+// deterministic RNG.  Components receive a Simulator& at construction and
+// schedule events against it; nothing touches global state.
+//
+// Under the serial engine there is exactly one Simulator.  Under the sharded
+// engine each shard owns one, and the cross-shard handoff() primitive routes
+// through the engine's mailboxes; everything else behaves identically, so
+// component code is engine-agnostic.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +14,8 @@
 #include "sim/event_queue.hpp"
 
 namespace spinn::sim {
+
+class ShardedSimulator;
 
 class Simulator {
  public:
@@ -36,12 +43,40 @@ class Simulator {
     queue_.schedule_in(delay, std::move(action), priority);
   }
 
+  /// Actor-tagged wrappers: key and execute the event under an explicit
+  /// actor.  Used at the non-event entry points into a component's event
+  /// tree (timer start, self-test kick-off) — see EventQueue::schedule_at_as.
+  void at_as(TimeNs when, ActorId actor, EventAction action,
+             EventPriority priority = EventPriority::Default) {
+    queue_.schedule_at_as(when, actor, std::move(action), priority);
+  }
+  void after_as(TimeNs delay, ActorId actor, EventAction action,
+                EventPriority priority = EventPriority::Default) {
+    queue_.schedule_in_as(delay, actor, std::move(action), priority);
+  }
+
+  /// Cross-actor handoff after `delay`: keyed to the current (sender) actor,
+  /// executed under `exec_actor`.  On a standalone/serial Simulator this is
+  /// a local insert; on a sharded shard context the engine routes it to the
+  /// destination actor's shard (via a mailbox during parallel windows).
+  /// `delay` must be >= the engine's conservative lookahead window when the
+  /// destination lives on another shard.
+  void handoff(TimeNs delay, ActorId exec_actor, EventAction action,
+               EventPriority priority = EventPriority::Default);
+
+  /// Shard this context belongs to (0 for standalone/serial).
+  std::uint32_t shard() const { return shard_; }
+
   std::uint64_t run_until(TimeNs until) { return queue_.run_until(until); }
   std::uint64_t run() { return queue_.run(); }
 
  private:
+  friend class ShardedSimulator;
+
   EventQueue queue_;
   Rng rng_;
+  ShardedSimulator* engine_ = nullptr;  // null => standalone / serial
+  std::uint32_t shard_ = 0;
 };
 
 /// A repeating process: reschedules itself every `period` until cancelled.

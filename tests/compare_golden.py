@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Golden-output comparison for the example programs.
+
+Runs an example binary, captures stdout, and compares it token-by-token
+against a committed golden file:
+
+  * non-numeric text must match exactly (catches structural drift — missing
+    sections, changed labels, reordered output);
+  * numeric tokens must match within a small tolerance (catches behavioural
+    drift — spike counts, energy figures, boot times — while tolerating
+    last-ulp libm differences across platforms).
+
+Usage:
+  compare_golden.py --binary ./quickstart --golden tests/golden/quickstart.txt
+  compare_golden.py --binary ./quickstart --golden ... --regen   # rewrite
+
+Exit status 0 on match, 1 on mismatch (with a line-level report).
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+
+# Matches integers and floats, with optional sign and exponent.
+NUMBER = re.compile(r"[-+]?\d+\.?\d*(?:[eE][-+]?\d+)?")
+
+REL_TOL = 0.05   # 5 %: generous enough for libm jitter, tight enough that
+ABS_TOL = 1e-6   # real behavioural drift (2x spikes, 10x energy) fails
+
+
+def split_token(token):
+    """Split a token into alternating literal / numeric segments."""
+    parts = []
+    pos = 0
+    for m in NUMBER.finditer(token):
+        if m.start() > pos:
+            parts.append(("lit", token[pos:m.start()]))
+        parts.append(("num", m.group()))
+        pos = m.end()
+    if pos < len(token):
+        parts.append(("lit", token[pos:]))
+    return parts
+
+
+def numbers_match(a, b):
+    try:
+        fa, fb = float(a), float(b)
+    except ValueError:
+        return a == b
+    if fa == fb:
+        return True
+    return abs(fa - fb) <= max(ABS_TOL, REL_TOL * max(abs(fa), abs(fb)))
+
+
+def tokens_match(a, b):
+    pa, pb = split_token(a), split_token(b)
+    if len(pa) != len(pb):
+        return False
+    for (ka, va), (kb, vb) in zip(pa, pb):
+        if ka != kb:
+            return False
+        if ka == "lit":
+            if va != vb:
+                return False
+        elif not numbers_match(va, vb):
+            return False
+    return True
+
+
+def compare(expected, actual):
+    """Return a list of human-readable mismatch descriptions."""
+    errors = []
+    exp_lines = expected.splitlines()
+    act_lines = actual.splitlines()
+    if len(exp_lines) != len(act_lines):
+        errors.append("line count: golden %d vs actual %d"
+                      % (len(exp_lines), len(act_lines)))
+    for i, (e, a) in enumerate(zip(exp_lines, act_lines), start=1):
+        et, at = e.split(), a.split()
+        if len(et) != len(at):
+            errors.append("line %d: token count differs\n  golden: %s\n"
+                          "  actual: %s" % (i, e, a))
+            continue
+        for et_tok, at_tok in zip(et, at):
+            if not tokens_match(et_tok, at_tok):
+                errors.append("line %d: %r vs %r\n  golden: %s\n  actual: %s"
+                              % (i, et_tok, at_tok, e, a))
+                break
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--binary", required=True)
+    ap.add_argument("--golden", required=True)
+    ap.add_argument("--regen", action="store_true",
+                    help="rewrite the golden file from the binary's output")
+    args = ap.parse_args()
+
+    try:
+        proc = subprocess.run([args.binary], capture_output=True, text=True,
+                              timeout=600)
+    except subprocess.TimeoutExpired:
+        sys.stderr.write("%s did not finish within 600 s\n" % args.binary)
+        return 1
+    if proc.returncode != 0:
+        sys.stderr.write("%s exited %d\nstderr:\n%s"
+                         % (args.binary, proc.returncode, proc.stderr))
+        return 1
+
+    if args.regen:
+        with open(args.golden, "w", encoding="utf-8") as f:
+            f.write(proc.stdout)
+        print("wrote", args.golden)
+        return 0
+
+    try:
+        with open(args.golden, encoding="utf-8") as f:
+            expected = f.read()
+    except FileNotFoundError:
+        sys.stderr.write("no golden file %s — generate it with:\n"
+                         "  %s --binary %s --golden %s --regen\n"
+                         % (args.golden, sys.argv[0], args.binary,
+                            args.golden))
+        return 1
+    errors = compare(expected, proc.stdout)
+    if errors:
+        sys.stderr.write("golden mismatch for %s (%d issue(s)):\n\n"
+                         % (args.binary, len(errors)))
+        for e in errors[:20]:
+            sys.stderr.write(e + "\n")
+        sys.stderr.write("\nIf the change is intentional, regenerate with:\n"
+                         "  %s --binary %s --golden %s --regen\n"
+                         % (sys.argv[0], args.binary, args.golden))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
