@@ -25,4 +25,5 @@
 #include "neural/network.hpp"
 #include "neural/retina.hpp"
 #include "router/router.hpp"
+#include "server/server.hpp"
 #include "sim/simulator.hpp"

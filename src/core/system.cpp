@@ -8,16 +8,28 @@
 namespace spinn {
 
 System::System(const SystemConfig& cfg)
-    : cfg_(cfg), engine_(sim::make_engine(cfg.engine, cfg.machine.seed)) {
+    : cfg_(cfg),
+      owned_engine_(sim::make_engine(cfg.engine, cfg.machine.seed)),
+      engine_(owned_engine_.get()) {
+  machine_ = std::make_unique<mesh::Machine>(*engine_, cfg_.machine);
+}
+
+System::System(const SystemConfig& cfg, sim::ISimulationEngine& engine)
+    : cfg_(cfg), engine_(&engine) {
+  // Re-entrant setup: whatever the engine ran before, a reset makes it
+  // bit-indistinguishable from a new one before the machine wires into it.
+  engine_->reset(cfg_.machine.seed);
   machine_ = std::make_unique<mesh::Machine>(*engine_, cfg_.machine);
 }
 
 System::~System() = default;
 
 neural::SpikeRecorder* System::recording_sink() {
-  if (cfg_.engine.kind != sim::EngineKind::Sharded) return &recorder_;
+  // Keyed off the engine's actual type, not cfg_.engine: a borrowed engine
+  // may differ from whatever the config says.
+  auto* sharded = dynamic_cast<sim::ShardedSimulator*>(engine_);
+  if (sharded == nullptr) return &recorder_;
   if (!sharded_recorder_) {
-    auto* sharded = dynamic_cast<sim::ShardedSimulator*>(engine_.get());
     sharded_recorder_ = std::make_unique<neural::ShardedSpikeRecorder>(
         *sharded, recorder_);
   }

@@ -41,6 +41,16 @@ struct SystemConfig {
 class System {
  public:
   explicit System(const SystemConfig& cfg = SystemConfig{});
+
+  /// Build a system around a *borrowed* engine (e.g. a lease from the
+  /// server's EnginePool): the engine is reset under cfg.machine.seed and
+  /// rewired to this system's machine, so the run is bit-identical to one
+  /// on a freshly-constructed engine, but expensive engine resources (the
+  /// sharded worker-thread pool) are reused across systems.  The caller
+  /// keeps ownership and must keep the engine alive for the System's
+  /// lifetime; cfg.engine is ignored (the engine already exists).
+  System(const SystemConfig& cfg, sim::ISimulationEngine& engine);
+
   ~System();
 
   System(const System&) = delete;
@@ -82,7 +92,10 @@ class System {
   neural::SpikeRecorder* recording_sink();
 
   SystemConfig cfg_;
-  std::unique_ptr<sim::ISimulationEngine> engine_;
+  /// Set only by the owning constructor; borrowed engines stay with their
+  /// owner.  Declared before engine_ so the raw pointer never dangles.
+  std::unique_ptr<sim::ISimulationEngine> owned_engine_;
+  sim::ISimulationEngine* engine_ = nullptr;
   std::unique_ptr<mesh::Machine> machine_;
   std::unique_ptr<boot::BootController> boot_;
   std::unique_ptr<map::Loader> loader_;

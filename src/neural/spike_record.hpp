@@ -4,6 +4,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -25,11 +26,50 @@ class SpikeRecorder {
   /// front-end (neural/sharded_recorder.hpp) without the apps noticing.
   virtual void record(TimeNs time, RoutingKey key) {
     events_.push_back(Event{time, key});
+    ++total_recorded_;
   }
 
+  /// Events still held in the log: everything recorded in the default
+  /// (retaining) mode, only the undrained tail under retain_drained(false).
   const std::vector<Event>& events() const { return events_; }
-  std::size_t count() const { return events_.size(); }
-  void clear() { events_.clear(); }
+  /// Total events recorded over the recorder's lifetime (monotonic across
+  /// drains in either retention mode).
+  std::size_t count() const { return total_recorded_; }
+  void clear() {
+    events_.clear();
+    drain_pos_ = 0;
+    total_recorded_ = 0;
+    drained_total_ = 0;
+  }
+
+  /// Incremental retrieval: the events recorded since the previous drain(),
+  /// in recording order — the polling primitive a server session uses to
+  /// stream spikes to a client mid-run.  By default the full log stays
+  /// intact (events() still returns everything).
+  std::vector<Event> drain() {
+    std::vector<Event> out(events_.begin() +
+                               static_cast<std::ptrdiff_t>(drain_pos_),
+                           events_.end());
+    drained_total_ += out.size();
+    if (retain_drained_) {
+      drain_pos_ = events_.size();
+    } else {
+      events_.clear();
+      drain_pos_ = 0;
+    }
+    return out;
+  }
+
+  /// Number of events already handed out by drain().
+  std::size_t drained() const { return drained_total_; }
+
+  /// Retention policy for drained events.  `false` = streaming mode:
+  /// drain() releases the handed-out prefix, so a long-lived session's
+  /// memory is bounded by the drain interval, not the run length (server
+  /// sessions run this way; count()/drained() stay monotonic).  Default
+  /// `true`: keep the whole log for post-run analysis (events(),
+  /// count_in_key_range).
+  void retain_drained(bool keep) { retain_drained_ = keep; }
 
   /// Events whose key falls in [base, base + span).
   std::size_t count_in_key_range(RoutingKey base, std::uint32_t span) const {
@@ -41,6 +81,10 @@ class SpikeRecorder {
 
  private:
   std::vector<Event> events_;
+  std::size_t drain_pos_ = 0;
+  std::size_t total_recorded_ = 0;
+  std::size_t drained_total_ = 0;
+  bool retain_drained_ = true;
 };
 
 }  // namespace spinn::neural

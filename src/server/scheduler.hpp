@@ -1,0 +1,57 @@
+// The session scheduler: a small worker pool multiplexing many sessions.
+//
+// Sessions are serviced in bounded biological-time slices and requeued at
+// the back of a ready queue, giving round-robin fairness: eight sessions on
+// two workers all make continuous progress, and a client polling drain() on
+// any of them sees spikes appear between slices rather than only at the end.
+// A session sits in the queue at most once (its queued flag), so concurrent
+// run requests never double-schedule it.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "server/session.hpp"
+
+namespace spinn::server {
+
+class SessionScheduler {
+ public:
+  /// `workers` may be 0: nothing is serviced until drive() is called —
+  /// deterministic mode for tests.
+  SessionScheduler(std::uint32_t workers, TimeNs slice);
+  ~SessionScheduler();
+
+  SessionScheduler(const SessionScheduler&) = delete;
+  SessionScheduler& operator=(const SessionScheduler&) = delete;
+
+  /// Make the session eligible for worker time (no-op if already queued).
+  void submit(const std::shared_ptr<Session>& session);
+
+  /// Service at most one queued session for one slice on the calling
+  /// thread.  Returns false when the queue was empty.  This is the worker
+  /// loop body, exposed for 0-worker deterministic operation.
+  bool drive();
+
+  /// Stop and join the workers.  Queued sessions keep their pending work;
+  /// the server tears them down afterwards.
+  void stop();
+
+ private:
+  void worker_main();
+  std::shared_ptr<Session> pop();
+
+  const TimeNs slice_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Session>> ready_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace spinn::server

@@ -1,0 +1,148 @@
+#include "server/server.hpp"
+
+namespace spinn::server {
+
+SessionServer::SessionServer(const ServerConfig& cfg)
+    : cfg_(cfg), pool_(cfg.pool), scheduler_(cfg.workers, cfg.slice) {}
+
+SessionServer::~SessionServer() {
+  // Stop workers first so no slice is in flight, then tear sessions down
+  // (returning their engines to the pool, which outlives them by member
+  // order: pool_ is declared before sessions_).
+  scheduler_.stop();
+  std::map<SessionId, Entry> doomed;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    doomed.swap(sessions_);
+  }
+  for (auto& [id, entry] : doomed) entry.session->close(false);
+}
+
+SessionId SessionServer::open(const SessionSpec& spec, std::string* error) {
+  if (!validate(spec, error)) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.rejected;
+    return kInvalidSession;
+  }
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (sessions_.size() >= cfg_.max_sessions && !evict_one_locked()) {
+      ++stats_.rejected;
+      if (error != nullptr) {
+        *error = "server full: " + std::to_string(sessions_.size()) +
+                 " resident sessions, none idle";
+      }
+      return kInvalidSession;
+    }
+    const SessionId id = next_id_++;
+    session = std::make_shared<Session>(id, spec, pool_);
+    sessions_[id] = Entry{session, ++touch_clock_};
+    ++stats_.opened;
+  }
+  // Build eagerly on a worker: time-to-first-spike starts at open.
+  scheduler_.submit(session);
+  return session->id();
+}
+
+bool SessionServer::evict_one_locked() {
+  auto victim = sessions_.end();
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (it->second.session->has_work()) continue;  // busy: not evictable
+    if (victim == sessions_.end() ||
+        it->second.last_touch < victim->second.last_touch) {
+      victim = it;
+    }
+  }
+  if (victim == sessions_.end()) return false;
+  std::shared_ptr<Session> s = victim->second.session;
+  sessions_.erase(victim);
+  SessionStatus st = s->status();
+  s->close(/*evicted=*/true);
+  st.state = SessionState::Closed;
+  st.evicted = true;
+  remember_locked(st);
+  ++stats_.evicted;
+  return true;
+}
+
+void SessionServer::remember_locked(const SessionStatus& st) {
+  tombstones_[st.id] = st;
+  // Bound the tombstone map: a long-lived server sheds the oldest ids.
+  while (tombstones_.size() > 4 * cfg_.max_sessions + 16) {
+    tombstones_.erase(tombstones_.begin());
+  }
+}
+
+std::shared_ptr<Session> SessionServer::find_and_touch(SessionId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return nullptr;
+  it->second.last_touch = ++touch_clock_;
+  return it->second.session;
+}
+
+std::shared_ptr<Session> SessionServer::find(SessionId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.session;
+}
+
+bool SessionServer::run(SessionId id, TimeNs duration) {
+  auto s = find_and_touch(id);
+  if (!s || !s->request_run(duration)) return false;
+  scheduler_.submit(s);
+  return true;
+}
+
+bool SessionServer::wait(SessionId id) {
+  auto s = find(id);
+  if (!s) return false;
+  s->wait_idle();
+  return true;
+}
+
+std::vector<neural::SpikeRecorder::Event> SessionServer::drain(SessionId id) {
+  auto s = find_and_touch(id);
+  return s ? s->drain() : std::vector<neural::SpikeRecorder::Event>{};
+}
+
+SessionStatus SessionServer::status(SessionId id) const {
+  auto s = find(id);
+  if (s) return s->status();
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = tombstones_.find(id);
+  return it == tombstones_.end() ? SessionStatus{} : it->second;
+}
+
+bool SessionServer::close(SessionId id) {
+  std::shared_ptr<Session> s;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return false;
+    s = it->second.session;
+    sessions_.erase(it);
+  }
+  SessionStatus st = s->status();
+  const bool first = s->close(false);
+  st.state = SessionState::Closed;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    remember_locked(st);
+    ++stats_.closed;
+  }
+  return first;
+}
+
+bool SessionServer::poll() { return scheduler_.drive(); }
+
+ServerStats SessionServer::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServerStats st = stats_;
+  st.resident = sessions_.size();
+  st.engines = pool_.stats();
+  return st;
+}
+
+}  // namespace spinn::server

@@ -1,0 +1,118 @@
+// The long-lived simulation server front-end.
+//
+// The paper's premise is a machine that stays up: applications are loaded
+// onto a running million-core fabric, run in biological real time, and are
+// replaced without a restart (§5.2, §6).  This front-end mirrors that
+// operational model at the simulator level — one resident process owning a
+// pool of engines (serial or sharded, chosen per request) and multiplexing
+// many concurrent sessions over a small worker pool, each session walking
+// the lifecycle *load network -> configure -> run/step -> stream spikes ->
+// teardown*.  Transport is whatever wraps this class (examples/server_repl
+// speaks a line protocol on stdio); the subsystem is the point.
+//
+// Capacity: at most `max_sessions` sessions are resident.  Opening one more
+// evicts the least-recently-used idle session (state Ready/Failed with no
+// queued work); if every resident session is busy the open is rejected —
+// overload sheds new work instead of degrading running sessions.
+//
+// See docs/SERVER.md for the protocol reference and worked examples.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "server/engine_pool.hpp"
+#include "server/scheduler.hpp"
+#include "server/session.hpp"
+
+namespace spinn::server {
+
+struct ServerConfig {
+  /// Worker threads servicing sessions.  0 = deterministic manual mode
+  /// (tests drive with poll()).
+  std::uint32_t workers = 2;
+  /// Resident-session cap; see eviction note above.
+  std::size_t max_sessions = 8;
+  /// Biological time serviced per scheduling quantum.  Smaller = fairer
+  /// interleaving and fresher drains; larger = less locking overhead.
+  TimeNs slice = kMillisecond;
+  EnginePoolConfig pool;
+};
+
+struct ServerStats {
+  std::uint64_t opened = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t closed = 0;   // client closes (eviction counted separately)
+  std::uint64_t evicted = 0;
+  std::size_t resident = 0;
+  EnginePool::Stats engines;
+};
+
+class SessionServer {
+ public:
+  explicit SessionServer(const ServerConfig& cfg = ServerConfig{});
+  ~SessionServer();
+
+  SessionServer(const SessionServer&) = delete;
+  SessionServer& operator=(const SessionServer&) = delete;
+
+  /// Admit a session.  On success the build is already queued on a worker
+  /// (so time-to-first-spike starts now, not at the first run request).
+  /// Returns kInvalidSession with a reason in *error when the spec is
+  /// invalid or the server is full of busy sessions.
+  SessionId open(const SessionSpec& spec, std::string* error = nullptr);
+
+  /// Queue `duration` more biological time.  False for unknown/closed ids.
+  bool run(SessionId id, TimeNs duration);
+
+  /// Block until the session has no pending work.  False for unknown ids.
+  bool wait(SessionId id);
+
+  /// Spikes recorded since the caller's previous drain (empty for unknown
+  /// or torn-down sessions).
+  std::vector<neural::SpikeRecorder::Event> drain(SessionId id);
+
+  /// Snapshot of a session, resident or recently closed/evicted.  Unknown
+  /// ids return a status with id == kInvalidSession.
+  SessionStatus status(SessionId id) const;
+
+  /// Tear the session down and release its engine.  False if unknown or
+  /// already closed (double teardown is a clean no-op).
+  bool close(SessionId id);
+
+  /// Manual-mode servicing (workers == 0): run one scheduling quantum on
+  /// the calling thread.  Returns false when no session had queued work.
+  bool poll();
+
+  ServerStats stats() const;
+
+ private:
+  std::shared_ptr<Session> find_and_touch(SessionId id);
+  std::shared_ptr<Session> find(SessionId id) const;
+  /// Evict the least-recently-touched idle session.  Caller holds mu_.
+  bool evict_one_locked();
+  void remember_locked(const SessionStatus& st);
+
+  ServerConfig cfg_;
+  EnginePool pool_;
+  SessionScheduler scheduler_;
+
+  mutable std::mutex mu_;
+  SessionId next_id_ = 1;
+  std::uint64_t touch_clock_ = 0;
+  struct Entry {
+    std::shared_ptr<Session> session;
+    std::uint64_t last_touch = 0;
+  };
+  std::map<SessionId, Entry> sessions_;
+  /// Final status of closed/evicted sessions, so a client polling a
+  /// just-evicted id gets "closed, evicted" rather than "unknown".
+  std::map<SessionId, SessionStatus> tombstones_;
+  ServerStats stats_;
+};
+
+}  // namespace spinn::server

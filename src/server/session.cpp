@@ -1,0 +1,148 @@
+#include "server/session.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace spinn::server {
+
+const char* to_string(SessionState s) {
+  switch (s) {
+    case SessionState::Pending: return "pending";
+    case SessionState::Ready: return "ready";
+    case SessionState::Running: return "running";
+    case SessionState::Failed: return "failed";
+    case SessionState::Closed: return "closed";
+  }
+  return "?";
+}
+
+Session::Session(SessionId id, SessionSpec spec, EnginePool& pool)
+    : id_(id), spec_(std::move(spec)), pool_(pool) {}
+
+Session::~Session() { close(false); }
+
+bool Session::request_run(TimeNs duration) {
+  if (duration < 0) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (state_ == SessionState::Closed || state_ == SessionState::Failed) {
+    return false;
+  }
+  requested_ += duration;
+  return true;
+}
+
+void Session::build_locked() {
+  try {
+    const SystemConfig sys_cfg = system_config(spec_);
+    lease_ = pool_.acquire(sys_cfg.engine);
+    // The borrowed-engine constructor resets the engine under the machine
+    // seed, making a pooled engine bit-indistinguishable from a fresh one.
+    system_ = std::make_unique<System>(sys_cfg, *lease_);
+    if (spec_.boot) boot_report_ = system_->boot();
+    load_report_ = system_->load(build_network(spec_));
+    if (!load_report_.ok) {
+      error_ = load_report_.error;
+      state_ = SessionState::Failed;
+      system_.reset();
+      lease_.release();
+      return;
+    }
+    // Streaming mode: drained spikes are released, so a session's memory is
+    // bounded by its drain interval rather than its total run length.
+    system_->spikes().retain_drained(false);
+    run_base_ = system_->now();
+    state_ = SessionState::Ready;
+  } catch (const std::exception& e) {
+    error_ = e.what();
+    state_ = SessionState::Failed;
+    system_.reset();
+    lease_.release();
+  }
+}
+
+bool Session::service(TimeNs slice) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (state_ == SessionState::Closed || state_ == SessionState::Failed) {
+    idle_cv_.notify_all();
+    return false;
+  }
+  if (state_ == SessionState::Pending) {
+    build_locked();
+  } else if (system_ && system_->now() < goal_locked()) {
+    state_ = SessionState::Running;
+    const TimeNs step = std::min(slice, goal_locked() - system_->now());
+    try {
+      system_->run(step);
+    } catch (const std::exception& e) {
+      error_ = e.what();
+      state_ = SessionState::Failed;
+    }
+  }
+  const bool more = work_pending_locked();
+  if (!more) {
+    if (state_ == SessionState::Running) state_ = SessionState::Ready;
+    idle_cv_.notify_all();
+  }
+  return more;
+}
+
+bool Session::work_pending_locked() const {
+  switch (state_) {
+    case SessionState::Pending: return true;
+    case SessionState::Failed:
+    case SessionState::Closed: return false;
+    case SessionState::Ready:
+    case SessionState::Running:
+      return system_ && system_->now() < goal_locked();
+  }
+  return false;
+}
+
+bool Session::has_work() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return work_pending_locked();
+}
+
+void Session::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [&] { return !work_pending_locked(); });
+}
+
+std::vector<neural::SpikeRecorder::Event> Session::drain() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!system_) return {};
+  auto out = system_->spikes().drain();
+  drained_total_ += out.size();
+  return out;
+}
+
+SessionStatus Session::status() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  SessionStatus st;
+  st.id = id_;
+  st.state = state_;
+  st.evicted = evicted_;
+  st.bio_now = system_ ? std::max<TimeNs>(system_->now() - run_base_, 0) : 0;
+  st.bio_target = requested_;
+  st.spikes_recorded = system_ ? system_->spikes().count() : drained_total_;
+  st.spikes_drained = drained_total_;
+  st.chips_alive = boot_report_.chips_alive;
+  st.load_ok = load_report_.ok && system_ != nullptr;
+  st.error = error_;
+  return st;
+}
+
+bool Session::close(bool evicted) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (state_ == SessionState::Closed) return false;
+  state_ = SessionState::Closed;
+  evicted_ = evicted;
+  // Destroy the machine before the engine lease goes back: the pool's reset
+  // drops any still-queued event closures capturing machine state.
+  system_.reset();
+  lease_.release();
+  idle_cv_.notify_all();
+  return true;
+}
+
+}  // namespace spinn::server

@@ -1,0 +1,131 @@
+// One server session: an isolated simulation with a lifecycle of
+//
+//   load network -> configure -> run/step -> stream spikes -> teardown
+//
+// A session compiles its SessionSpec into a core::System on first service
+// (on a scheduler worker, off the client's thread), runs requested
+// biological time in bounded slices so many sessions share few workers
+// fairly, and exposes incremental spike drains between slices so a client
+// can poll or stream results mid-run.  Sessions are isolated: each owns its
+// engine lease (own RNG streams via the engine reset) and its own recorder.
+//
+// Thread model: every public method is safe to call from any thread.  One
+// mutex guards all state; scheduler workers hold it for the duration of one
+// service slice, so client calls (drain/status/close) interleave at slice
+// granularity.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "server/engine_pool.hpp"
+#include "server/spec.hpp"
+
+namespace spinn::server {
+
+using SessionId = std::uint64_t;
+
+/// 0 is never a valid session id (open() returns it on rejection).
+inline constexpr SessionId kInvalidSession = 0;
+
+enum class SessionState : std::uint8_t {
+  Pending,  // accepted; system not yet built (build runs on a worker)
+  Ready,    // built and idle: runnable, drainable, evictable
+  Running,  // a worker is advancing biological time
+  Failed,   // build or load failed; error() says why
+  Closed,   // torn down (client close, eviction or server shutdown)
+};
+
+const char* to_string(SessionState s);
+
+/// A point-in-time snapshot of everything a client can ask about a session.
+struct SessionStatus {
+  SessionId id = kInvalidSession;
+  SessionState state = SessionState::Pending;
+  bool evicted = false;
+  TimeNs bio_now = 0;     // biological time simulated so far
+  TimeNs bio_target = 0;  // biological time requested so far
+  std::size_t spikes_recorded = 0;
+  std::size_t spikes_drained = 0;
+  std::size_t chips_alive = 0;  // boot report (0 when spec.boot == false)
+  bool load_ok = false;
+  std::string error;
+};
+
+class Session {
+ public:
+  Session(SessionId id, SessionSpec spec, EnginePool& pool);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  SessionId id() const { return id_; }
+  const SessionSpec& spec() const { return spec_; }
+
+  /// Extend the biological-time target.  Work happens on scheduler workers;
+  /// returns false once the session is closed or failed.
+  bool request_run(TimeNs duration);
+
+  /// Perform one work quantum on the calling (worker) thread: build the
+  /// system if still Pending, else advance at most `slice` of biological
+  /// time.  Returns true while more work is pending.
+  bool service(TimeNs slice);
+
+  /// True while the session needs worker time (build pending or bio time
+  /// still owed).
+  bool has_work() const;
+
+  /// Block until the session has no pending work (or is closed/failed).
+  void wait_idle();
+
+  /// Spikes recorded since the previous drain, in recording order.  Empty
+  /// after teardown.
+  std::vector<neural::SpikeRecorder::Event> drain();
+
+  SessionStatus status() const;
+
+  /// Tear down: destroy the system, return the engine to the pool.  Safe to
+  /// call repeatedly and concurrently; only the first call acts (returns
+  /// true).  `evicted` marks the teardown as server-initiated in status().
+  bool close(bool evicted = false);
+
+  /// Scheduler queue-membership flag (dedup: a session sits in the ready
+  /// queue at most once).  try_mark_queued() returns true to the single
+  /// caller that acquired queue membership.
+  bool try_mark_queued() {
+    return !queued_.exchange(true, std::memory_order_acq_rel);
+  }
+  void mark_unqueued() { queued_.store(false, std::memory_order_release); }
+
+ private:
+  void build_locked();
+  bool work_pending_locked() const;
+  TimeNs goal_locked() const { return run_base_ + requested_; }
+
+  const SessionId id_;
+  const SessionSpec spec_;
+  EnginePool& pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<bool> queued_{false};
+
+  SessionState state_ = SessionState::Pending;
+  bool evicted_ = false;
+  TimeNs requested_ = 0;  // total biological time asked for
+  TimeNs run_base_ = 0;   // engine time when the run phase began (post-boot)
+  EnginePool::Lease lease_;
+  std::unique_ptr<System> system_;
+  boot::BootReport boot_report_;
+  map::LoadReport load_report_;
+  std::size_t drained_total_ = 0;
+  std::string error_;
+};
+
+}  // namespace spinn::server

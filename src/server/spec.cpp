@@ -1,0 +1,227 @@
+#include "server/spec.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace spinn::server {
+
+namespace {
+
+// Each app is a deterministic Network builder.  Sizes are kept small enough
+// that a session services in milliseconds; width/height/neurons_per_core in
+// the spec scale the machine around them.
+
+neural::Network app_chain() {
+  // A spike-source chain: scheduled stimuli (ms ticks 2, 8 and 5) fan into a
+  // small LIF population.  The lightest app — first spike within ~3 ms.
+  neural::Network net;
+  const auto src = net.add_spike_source("src", {{2, 8}, {5}});
+  const auto dst = net.add_lif("dst", 4);
+  net.connect(src, dst, neural::Connector::all_to_all(),
+              neural::ValueDist::fixed(30.0), neural::ValueDist::fixed(1.0));
+  return net;
+}
+
+neural::Network app_noise() {
+  // Poisson noise driving an excitatory/inhibitory pair — the quickstart
+  // network at session scale.
+  neural::Network net;
+  const auto noise = net.add_poisson("noise", 64, 40.0);
+  const auto exc = net.add_lif("exc", 128);
+  const auto inh = net.add_lif("inh", 32);
+  net.connect(noise, exc, neural::Connector::fixed_probability(0.2),
+              neural::ValueDist::uniform(4.0, 8.0),
+              neural::ValueDist::fixed(1.0));
+  net.connect(exc, inh, neural::Connector::fixed_probability(0.1),
+              neural::ValueDist::fixed(3.0),
+              neural::ValueDist::uniform(1.0, 4.0));
+  net.connect(inh, exc, neural::Connector::fixed_probability(0.1),
+              neural::ValueDist::fixed(6.0), neural::ValueDist::fixed(1.0),
+              /*inhibitory=*/true);
+  return net;
+}
+
+neural::Network app_stdp() {
+  // Poisson-driven plastic projection: exercises STDP row write-backs.
+  neural::Network net;
+  const auto src = net.add_poisson("src", 48, 60.0);
+  const auto dst = net.add_lif("dst", 48);
+  net.connect_plastic(src, dst, neural::Connector::fixed_probability(0.3),
+                      neural::ValueDist::fixed(12.0),
+                      neural::ValueDist::fixed(1.0), neural::StdpParams{});
+  return net;
+}
+
+/// Strict unsigned parse with an inclusive upper bound: rejects signs
+/// (strtoull would silently wrap "-1"), trailing junk and out-of-range
+/// values, so a bad request becomes an error instead of a truncated spec.
+bool parse_u64(const std::string& text, std::uint64_t max,
+               std::uint64_t* out) {
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE || v > max) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_bool(const std::string& text, bool* out) {
+  if (text == "1" || text == "true" || text == "on") {
+    *out = true;
+    return true;
+  }
+  if (text == "0" || text == "false" || text == "off") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::vector<std::string>& app_names() {
+  static const std::vector<std::string> names = {"chain", "noise", "stdp"};
+  return names;
+}
+
+bool known_app(const std::string& name) {
+  for (const auto& n : app_names()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+bool validate(const SessionSpec& spec, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (spec.width == 0 || spec.height == 0) {
+    return fail("machine dimensions must be >= 1");
+  }
+  if (spec.cores_per_chip == 0) return fail("cores_per_chip must be >= 1");
+  if (spec.neurons_per_core == 0) {
+    return fail("neurons_per_core must be >= 1");
+  }
+  if (spec.shards > 4096 || spec.threads > 4096) {
+    return fail("shards/threads are capped at 4096");
+  }
+  // Admission control, not simulation limits: one open request must not be
+  // able to OOM the long-lived server with a city-block of chips.
+  if (static_cast<std::uint32_t>(spec.width) * spec.height > 65536) {
+    return fail("machine capped at 65536 chips per session");
+  }
+  if (!known_app(spec.app)) return fail("unknown app '" + spec.app + "'");
+  return true;
+}
+
+SystemConfig system_config(const SessionSpec& spec) {
+  SystemConfig cfg;
+  cfg.machine.width = spec.width;
+  cfg.machine.height = spec.height;
+  cfg.machine.chip.num_cores = spec.cores_per_chip;
+  cfg.machine.seed = spec.seed;
+  if (spec.link_flight_ns > 0) {
+    cfg.machine.chip.router.port.flight_ns = spec.link_flight_ns;
+  }
+  cfg.mapper.neurons_per_core = spec.neurons_per_core;
+  cfg.mapper.scatter = spec.scatter;
+  cfg.engine.kind = spec.engine;
+  cfg.engine.shards = spec.shards;
+  cfg.engine.threads = spec.threads;
+  return cfg;
+}
+
+neural::Network build_network(const SessionSpec& spec) {
+  if (spec.app == "chain") return app_chain();
+  if (spec.app == "stdp") return app_stdp();
+  return app_noise();
+}
+
+std::vector<neural::SpikeRecorder::Event> run_standalone(
+    const SessionSpec& spec, TimeNs duration) {
+  System sys(system_config(spec));
+  if (spec.boot) sys.boot();
+  const map::LoadReport load = sys.load(build_network(spec));
+  if (!load.ok) return {};
+  sys.run(duration);
+  return sys.spikes().events();
+}
+
+bool apply_kv(SessionSpec& spec, const std::string& key,
+              const std::string& value, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  // Per-key inclusive bounds: wider than anything sensible, narrow enough
+  // that a typo can't request a 4-billion-shard engine or truncate into a
+  // machine the client never asked for.
+  struct Bound {
+    const char* key;
+    std::uint64_t max;
+  };
+  static constexpr Bound kBounds[] = {
+      {"width", 0xFFFF},           {"height", 0xFFFF},
+      {"cores", kCoresPerChip},    {"neurons_per_core", 1u << 20},
+      {"shards", 4096},            {"threads", 4096},
+      {"seed", ~std::uint64_t{0}}, {"link_flight_ns", kSecond},
+  };
+  std::uint64_t n = 0;
+  for (const Bound& b : kBounds) {
+    if (key != b.key) continue;
+    if (!parse_u64(value, b.max, &n)) {
+      return fail("'" + key + "' expects an unsigned integer <= " +
+                  std::to_string(b.max) + ", got '" + value + "'");
+    }
+    break;
+  }
+  if (key == "width") {
+    spec.width = static_cast<std::uint16_t>(n);
+  } else if (key == "height") {
+    spec.height = static_cast<std::uint16_t>(n);
+  } else if (key == "cores") {
+    spec.cores_per_chip = static_cast<CoreIndex>(n);
+  } else if (key == "neurons_per_core") {
+    spec.neurons_per_core = static_cast<std::uint32_t>(n);
+  } else if (key == "seed") {
+    spec.seed = n;
+  } else if (key == "link_flight_ns") {
+    spec.link_flight_ns = static_cast<TimeNs>(n);
+  } else if (key == "shards") {
+    spec.shards = static_cast<std::uint32_t>(n);
+  } else if (key == "threads") {
+    spec.threads = static_cast<std::uint32_t>(n);
+  } else if (key == "app") {
+    if (!known_app(value)) return fail("unknown app '" + value + "'");
+    spec.app = value;
+  } else if (key == "engine") {
+    if (value == "serial") {
+      spec.engine = sim::EngineKind::Serial;
+    } else if (value == "sharded") {
+      spec.engine = sim::EngineKind::Sharded;
+    } else {
+      return fail("engine must be 'serial' or 'sharded', got '" + value +
+                  "'");
+    }
+  } else if (key == "scatter") {
+    if (!parse_bool(value, &spec.scatter)) {
+      return fail("'scatter' expects a boolean, got '" + value + "'");
+    }
+  } else if (key == "boot") {
+    if (!parse_bool(value, &spec.boot)) {
+      return fail("'boot' expects a boolean, got '" + value + "'");
+    }
+  } else {
+    return fail("unknown key '" + key + "'");
+  }
+  return true;
+}
+
+}  // namespace spinn::server

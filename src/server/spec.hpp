@@ -1,0 +1,75 @@
+// SessionSpec: what a client asks the server to simulate.
+//
+// A spec is a *description* — machine dimensions, application, seed, engine
+// choice — that the server compiles into a core::System on demand.  The same
+// compilation functions serve standalone reference runs, which is how the
+// determinism contract is phrased and tested: a session's spike stream must
+// be bit-identical to run_standalone() of the same spec (tests/
+// server_test.cpp), whatever engine the session was multiplexed onto and
+// whether its engine came fresh from the allocator or reused from the pool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace spinn::server {
+
+struct SessionSpec {
+  // Machine ----------------------------------------------------------------
+  std::uint16_t width = 2;
+  std::uint16_t height = 2;
+  CoreIndex cores_per_chip = 6;
+  std::uint64_t seed = 1;
+  /// Inter-chip link flight-time override in ns (0 = model default).  Under
+  /// the sharded engine this is also the conservative window width.
+  TimeNs link_flight_ns = 0;
+
+  // Mapping ----------------------------------------------------------------
+  std::uint32_t neurons_per_core = 64;
+  bool scatter = false;
+
+  // Application ------------------------------------------------------------
+  /// One of app_names(): "chain", "noise" or "stdp".
+  std::string app = "noise";
+  /// Run the distributed boot sequence before loading.
+  bool boot = false;
+
+  // Engine -----------------------------------------------------------------
+  sim::EngineKind engine = sim::EngineKind::Serial;
+  std::uint32_t shards = 0;   // sharded engine only; 0 = one per hw thread
+  std::uint32_t threads = 0;  // sharded engine only; 0 = min(shards, hw)
+};
+
+/// Registered application builders.
+const std::vector<std::string>& app_names();
+bool known_app(const std::string& name);
+
+/// Validate a spec (dimensions, app name).  Returns true when compilable;
+/// otherwise false with a reason in *error.
+bool validate(const SessionSpec& spec, std::string* error);
+
+/// The SystemConfig a spec compiles to (shared by sessions and standalone
+/// reference runs, so both build byte-identical machines).
+SystemConfig system_config(const SessionSpec& spec);
+
+/// The network a spec's app describes.  Pure function of the spec: all
+/// stochastic elaboration (weights, connectivity draws) happens later in the
+/// loader under the machine seed.
+neural::Network build_network(const SessionSpec& spec);
+
+/// Reference run: the spec end-to-end on a private System, no server
+/// involved.  Returns the full spike stream a session running the same spec
+/// for `duration` must reproduce bit-for-bit.
+std::vector<neural::SpikeRecorder::Event> run_standalone(
+    const SessionSpec& spec, TimeNs duration);
+
+/// Apply one `key=value` pair from the line protocol (see docs/SERVER.md for
+/// the key reference).  Returns false with a reason in *error for unknown
+/// keys or malformed values.
+bool apply_kv(SessionSpec& spec, const std::string& key,
+              const std::string& value, std::string* error);
+
+}  // namespace spinn::server

@@ -86,6 +86,16 @@ class ISimulationEngine {
   /// executed.  Used to merge per-shard observation buffers (spike records)
   /// back into deterministic global order.
   virtual void add_window_hook(std::function<void(TimeNs)> hook) = 0;
+
+  /// Return the engine to its freshly-constructed state under a new seed:
+  /// all queues reset (clocks to 0, counters zeroed), RNG streams reseeded,
+  /// actor map and window hooks dropped, lookahead unconstrained.  Expensive
+  /// resources (the sharded engine's worker-thread pool) survive, which is
+  /// the point: a reset engine drives a new scenario bit-identically to a
+  /// newly-constructed one without paying construction again (the server's
+  /// EnginePool relies on this).  Must not be called while a run is in
+  /// flight.
+  virtual void reset(std::uint64_t seed) = 0;
 };
 
 /// The reference implementation: one Simulator, one queue, zero threads.
@@ -118,6 +128,10 @@ class SerialEngine final : public ISimulationEngine {
   std::uint64_t executed() const override { return sim_.queue().executed(); }
   void add_window_hook(std::function<void(TimeNs)> hook) override {
     hooks_.push_back(std::move(hook));
+  }
+  void reset(std::uint64_t seed) override {
+    sim_.reset(seed);
+    hooks_.clear();
   }
 
  private:

@@ -15,7 +15,7 @@ void EventQueue::push(TimeNs when, EventPriority priority, ActorId key_actor,
   if (when < now_) {
     throw std::logic_error("EventQueue: scheduling into the past");
   }
-  if (exec_actor == kRootActor) ++root_exec_pending_;
+  if (exec_actor == kRootActor) root_whens_.insert(when);
   heap_.push(Entry{EventKey{when, priority, key_actor, next_seq(key_actor)},
                    exec_actor, std::move(action)});
 }
@@ -56,7 +56,7 @@ void EventQueue::insert_foreign(const EventKey& key, ActorId exec_actor,
   if (key.when < now_) {
     throw std::logic_error("EventQueue: foreign event in the past");
   }
-  if (exec_actor == kRootActor) ++root_exec_pending_;
+  if (exec_actor == kRootActor) root_whens_.insert(key.when);
   heap_.push(Entry{key, exec_actor, std::move(action)});
 }
 
@@ -65,7 +65,9 @@ bool EventQueue::step() {
   // priority_queue::top() is const&; we must copy the action out before pop.
   Entry entry = heap_.top();
   heap_.pop();
-  if (entry.exec_actor == kRootActor) --root_exec_pending_;
+  if (entry.exec_actor == kRootActor) {
+    root_whens_.erase(root_whens_.find(entry.key.when));
+  }
   now_ = entry.key.when;
   ++executed_;
   executing_ = true;
@@ -108,7 +110,17 @@ std::uint64_t EventQueue::run_window(TimeNs bound, bool inclusive) {
 
 void EventQueue::clear() {
   while (!heap_.empty()) heap_.pop();
-  root_exec_pending_ = 0;
+  root_whens_.clear();
+}
+
+void EventQueue::reset() {
+  clear();
+  seq_.clear();
+  now_ = 0;
+  executed_ = 0;
+  executing_ = false;
+  current_exec_actor_ = kRootActor;
+  current_key_ = EventKey{};
 }
 
 }  // namespace spinn::sim

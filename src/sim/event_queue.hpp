@@ -17,7 +17,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <queue>
+#include <set>
 #include <vector>
 
 #include "common/units.hpp"
@@ -40,6 +42,9 @@ using EventAction = std::function<void()>;
 using ActorId = std::uint32_t;
 
 inline constexpr ActorId kRootActor = 0;
+
+/// Sentinel "no event" timestamp (earliest_root_when() when none pending).
+inline constexpr TimeNs kTimeNever = std::numeric_limits<TimeNs>::max();
 
 /// The full deterministic ordering key of one event.  Strict weak order:
 /// (when, priority, actor, seq); (actor, seq) pairs are unique, so the order
@@ -127,11 +132,13 @@ class EventQueue {
   /// Key of the earliest pending event.  Only valid when !empty().
   const EventKey& peek_key() const { return heap_.top().key; }
 
-  /// Number of pending events that will execute under the root actor.
-  /// Root events (boot controller, host-side code) may reach across shard
-  /// boundaries, so the sharded engine keeps the sequential merge engaged
-  /// while any are pending.
-  std::size_t root_exec_pending() const { return root_exec_pending_; }
+  /// Earliest `when` among pending root-exec events, or kTimeNever.  The
+  /// sharded engine bounds its parallel windows below this instant: a
+  /// far-future root event (an abandoned boot's probe timer) then no longer
+  /// forces the sequential merge for a whole run_until span.
+  TimeNs earliest_root_when() const {
+    return root_whens_.empty() ? kTimeNever : *root_whens_.begin();
+  }
 
   /// True while an event's action is being executed by this queue.
   bool executing() const { return executing_; }
@@ -153,6 +160,12 @@ class EventQueue {
   /// Sequence counters are retained so keys never repeat within a run.
   void clear();
 
+  /// Return the queue to its freshly-constructed state: pending events
+  /// dropped, clock back to 0, sequence counters and statistics zeroed.
+  /// Unlike clear(), a reset queue is indistinguishable from a new one —
+  /// the basis of engine reuse across server sessions (src/server/).
+  void reset();
+
  private:
   struct Entry {
     EventKey key;
@@ -171,7 +184,11 @@ class EventQueue {
 
   TimeNs now_ = 0;
   std::uint64_t executed_ = 0;
-  std::size_t root_exec_pending_ = 0;
+  /// Timestamps of pending root-exec events (multiset: several may share an
+  /// instant).  Root events (boot controller, host-side code) may reach
+  /// across shard boundaries, so the sharded engine runs them only on its
+  /// sequential merge and bounds parallel windows below the earliest one.
+  std::multiset<TimeNs> root_whens_;
   bool executing_ = false;
   ActorId current_exec_actor_ = kRootActor;
   EventKey current_key_{};

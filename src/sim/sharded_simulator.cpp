@@ -134,10 +134,33 @@ void ShardedSimulator::post_handoff(Simulator& src, TimeNs delay,
   }
 }
 
-std::size_t ShardedSimulator::root_exec_pending_total() const {
-  std::size_t n = 0;
-  for (const auto& s : shards_) n += s.ctx->queue().root_exec_pending();
-  return n;
+TimeNs ShardedSimulator::earliest_root_when() const {
+  TimeNs t = kTimeNever;
+  for (const auto& s : shards_) {
+    t = std::min(t, s.ctx->queue().earliest_root_when());
+  }
+  return t;
+}
+
+void ShardedSimulator::reset(std::uint64_t seed) {
+  // Workers are parked between runs, so everything here is coordinator-only.
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    const std::uint64_t shard_seed =
+        s == 0 ? seed : Rng::fork(seed, s).next();
+    shards_[s].ctx->reset(shard_seed);
+    for (auto& box : shards_[s].outbox) box.clear();
+  }
+  shard_of_actor_.assign(1, 0);
+  mapped_actors_ = 1;
+  lookahead_ = 0;
+  hooks_.clear();
+  parallel_active_ = false;
+  windows_opened_ = 0;
+  window_executed_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(error_mutex_);
+    pending_error_ = nullptr;
+  }
 }
 
 int ShardedSimulator::min_head_shard(TimeNs limit) const {
@@ -197,15 +220,25 @@ std::uint64_t ShardedSimulator::parallel_run_until(TimeNs until) {
   for (;;) {
     // Root-actor events (boot-controller stragglers, host-side code, or
     // top-level scheduling on any shard context) may reach across shard
-    // boundaries, so while ANY is pending on ANY shard — not just at a
-    // head — the sequential merge stays engaged and no window is opened.
-    // Root events are only created by other root events or by top-level
-    // code, so once the count reaches zero the parallel phase is safe for
-    // the rest of the call.  During a normal run phase this is a handful of
-    // counter reads.
-    while (root_exec_pending_total() > 0) {
+    // boundaries, so they only ever execute on the sequential merge.  But a
+    // *pending* root event no longer blocks parallelism below it: windows
+    // are bounded (exclusively) at the earliest root event's `when`, and the
+    // merge engages only while the global head has actually reached that
+    // instant — a far-future probe timer left by an abandoned boot costs a
+    // couple of sequential steps at its own time, not the whole span.  This
+    // is safe because (a) no window executes an event at or above the bound,
+    // so the root event cannot run on a worker, and (b) any root event a
+    // window *creates* arrives through a mailbox at >= send + lookahead >=
+    // bound and is re-considered at the next iteration's recomputed bound.
+    for (;;) {
+      const TimeNs root_when = earliest_root_when();
+      if (root_when == kTimeNever) break;
       const int best = min_head_shard(until);
       if (best < 0) break;  // everything pending (incl. root) is > until
+      if (shards_[static_cast<std::size_t>(best)].ctx->queue().peek_key().when <
+          root_when) {
+        break;  // head strictly below the earliest root event: window-safe
+      }
       step_shard(static_cast<std::size_t>(best));
       ++total;
     }
@@ -215,12 +248,17 @@ std::uint64_t ShardedSimulator::parallel_run_until(TimeNs until) {
       if (!q.empty()) t0 = std::min(t0, q.peek_key().when);
     }
     if (t0 > until) break;
-    // Final window when the remaining span fits inside the lookahead: run
-    // events at exactly `until` too (run_until is boundary-inclusive).  Any
-    // cross-shard send from a window [t0, bound) arrives >= t0 + lookahead
-    // >= bound, so it is never needed inside the window that produced it.
-    const bool final_window = until - t0 < lookahead_;
-    const TimeNs bound = final_window ? until : t0 + lookahead_;
+    const TimeNs root_when = earliest_root_when();
+    // Final window when the remaining span fits inside the lookahead and no
+    // root event interposes: run events at exactly `until` too (run_until is
+    // boundary-inclusive).  Any cross-shard send from a window [t0, bound)
+    // arrives >= t0 + lookahead >= bound, so it is never needed inside the
+    // window that produced it; a tighter root-bounded window is a fortiori
+    // safe.
+    const bool final_window = until - t0 < lookahead_ && root_when > until;
+    const TimeNs bound =
+        final_window ? until : std::min(t0 + lookahead_, root_when);
+    ++windows_opened_;
     window_bound_ = bound;
     window_inclusive_ = final_window;
     parallel_active_ = true;

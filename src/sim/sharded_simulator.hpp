@@ -59,6 +59,7 @@ class ShardedSimulator final : public ISimulationEngine {
   void add_window_hook(std::function<void(TimeNs)> hook) override {
     hooks_.push_back(std::move(hook));
   }
+  void reset(std::uint64_t seed) override;
 
   // Sharded-specific --------------------------------------------------------
   /// Route a cross-actor handoff from `src`'s shard (called by
@@ -80,6 +81,12 @@ class ShardedSimulator final : public ISimulationEngine {
     return shard_of_actor_[actor];
   }
 
+  /// Parallel windows committed so far.  Observability: a run that should
+  /// be parallel but opens zero windows is running on the sequential merge
+  /// (e.g. a pending root-actor event used to force that for whole spans —
+  /// tests/sharded_sim_test.cpp pins the fix with this counter).
+  std::uint64_t windows_opened() const { return windows_opened_; }
+
  private:
   struct Mail {
     EventKey key;
@@ -96,8 +103,9 @@ class ShardedSimulator final : public ISimulationEngine {
 
   std::uint64_t sequential_run_until(TimeNs until);
   std::uint64_t parallel_run_until(TimeNs until);
-  /// Pending root-exec events summed across every shard's queue.
-  std::size_t root_exec_pending_total() const;
+  /// Earliest pending root-exec event's `when` across every shard's queue
+  /// (kTimeNever if none): the upper bound of any parallel window.
+  TimeNs earliest_root_when() const;
   /// Index of the shard holding the globally-earliest event with
   /// when <= limit, or -1.
   int min_head_shard(TimeNs limit) const;
@@ -136,6 +144,7 @@ class ShardedSimulator final : public ISimulationEngine {
   bool window_inclusive_ = false;
   bool parallel_active_ = false;
   std::atomic<std::uint64_t> window_executed_{0};
+  std::uint64_t windows_opened_ = 0;
 };
 
 }  // namespace spinn::sim

@@ -70,6 +70,15 @@ class Simulator {
   std::uint64_t run_until(TimeNs until) { return queue_.run_until(until); }
   std::uint64_t run() { return queue_.run(); }
 
+  /// Return this context to its freshly-constructed state under a new seed:
+  /// queue reset (clock 0, counters zeroed) and RNG reseeded.  A reset
+  /// context is bit-indistinguishable from `Simulator(seed)` — the basis of
+  /// engine reuse across server sessions.
+  void reset(std::uint64_t seed) {
+    queue_.reset();
+    rng_ = Rng(seed);
+  }
+
  private:
   friend class ShardedSimulator;
 

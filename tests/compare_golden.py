@@ -94,12 +94,15 @@ def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--binary", required=True)
     ap.add_argument("--golden", required=True)
+    ap.add_argument("--arg", action="append", default=[],
+                    help="argument passed through to the binary (repeatable)")
     ap.add_argument("--regen", action="store_true",
                     help="rewrite the golden file from the binary's output")
     args = ap.parse_args()
 
     try:
-        proc = subprocess.run([args.binary], capture_output=True, text=True,
+        proc = subprocess.run([args.binary] + args.arg, capture_output=True,
+                              text=True, stdin=subprocess.DEVNULL,
                               timeout=600)
     except subprocess.TimeoutExpired:
         sys.stderr.write("%s did not finish within 600 s\n" % args.binary)

@@ -1,0 +1,389 @@
+// The session-server suite.
+//
+// The contract (ISSUE 3): a session is an *execution context*, not a
+// different model.  N concurrent sessions multiplexed over mixed
+// serial/sharded engines must each produce a spike stream bit-identical to
+// the same spec run standalone; engines reused from the pool must be
+// indistinguishable from fresh ones; eviction and double teardown must be
+// clean (the whole suite runs under ASan and TSan in CI).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.hpp"
+
+namespace spinn::server {
+namespace {
+
+using Events = std::vector<neural::SpikeRecorder::Event>;
+
+bool same_events(const Events& a, const Events& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].time != b[i].time || a[i].key != b[i].key) return false;
+  }
+  return true;
+}
+
+void append(Events& dst, const Events& src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+SessionSpec spec_with(const std::string& app, std::uint64_t seed,
+                      sim::EngineKind engine, std::uint32_t shards = 0,
+                      std::uint32_t threads = 0) {
+  SessionSpec spec;
+  spec.app = app;
+  spec.seed = seed;
+  spec.engine = engine;
+  spec.shards = shards;
+  spec.threads = threads;
+  return spec;
+}
+
+// ---- lifecycle basics ------------------------------------------------------
+
+TEST(SessionServer, OpenRunDrainClose) {
+  SessionServer server;
+  const SessionId id = server.open(SessionSpec{});
+  ASSERT_NE(id, kInvalidSession);
+  EXPECT_TRUE(server.run(id, 20 * kMillisecond));
+  EXPECT_TRUE(server.wait(id));
+
+  const SessionStatus st = server.status(id);
+  EXPECT_EQ(st.state, SessionState::Ready);
+  EXPECT_TRUE(st.load_ok);
+  EXPECT_EQ(st.bio_now, 20 * kMillisecond);
+  EXPECT_GT(st.spikes_recorded, 0u);
+
+  const Events events = server.drain(id);
+  EXPECT_EQ(events.size(), st.spikes_recorded);
+  EXPECT_TRUE(server.close(id));
+}
+
+TEST(SessionServer, RejectsUnknownAppAndBadDims) {
+  SessionServer server;
+  std::string error;
+  SessionSpec bad_app;
+  bad_app.app = "nonexistent";
+  EXPECT_EQ(server.open(bad_app, &error), kInvalidSession);
+  EXPECT_NE(error.find("unknown app"), std::string::npos);
+
+  SessionSpec bad_dims;
+  bad_dims.width = 0;
+  EXPECT_EQ(server.open(bad_dims, &error), kInvalidSession);
+  EXPECT_EQ(server.stats().rejected, 2u);
+}
+
+TEST(SessionServer, UnknownIdOperationsAreClean) {
+  SessionServer server;
+  EXPECT_FALSE(server.run(999, kMillisecond));
+  EXPECT_FALSE(server.wait(999));
+  EXPECT_FALSE(server.close(999));
+  EXPECT_TRUE(server.drain(999).empty());
+  EXPECT_EQ(server.status(999).id, kInvalidSession);
+}
+
+TEST(SessionServer, DoubleTeardownIsClean) {
+  SessionServer server;
+  const SessionId id = server.open(spec_with("chain", 3, sim::EngineKind::Serial));
+  ASSERT_NE(id, kInvalidSession);
+  EXPECT_TRUE(server.run(id, 10 * kMillisecond));
+  EXPECT_TRUE(server.wait(id));
+  EXPECT_TRUE(server.close(id));
+  EXPECT_FALSE(server.close(id));  // second teardown: clean no-op
+  EXPECT_TRUE(server.drain(id).empty());
+  const SessionStatus st = server.status(id);  // tombstone survives close
+  EXPECT_EQ(st.id, id);
+  EXPECT_EQ(st.state, SessionState::Closed);
+  EXPECT_FALSE(st.evicted);
+  // Run requests after teardown are refused, not crashed.
+  EXPECT_FALSE(server.run(id, kMillisecond));
+}
+
+// ---- the determinism contract ---------------------------------------------
+
+// The acceptance bar: >= 8 concurrent sessions over mixed serial/sharded
+// engines, every per-session spike stream bit-identical to the same spec
+// run standalone.
+TEST(SessionServer, EightConcurrentMixedSessionsBitIdenticalToStandalone) {
+  constexpr TimeNs kRun = 30 * kMillisecond;
+  std::vector<SessionSpec> specs = {
+      spec_with("noise", 1, sim::EngineKind::Serial),
+      spec_with("noise", 1, sim::EngineKind::Sharded, 4, 2),
+      spec_with("noise", 42, sim::EngineKind::Sharded, 2, 2),
+      spec_with("chain", 7, sim::EngineKind::Serial),
+      spec_with("chain", 7, sim::EngineKind::Sharded, 8, 2),
+      spec_with("stdp", 9, sim::EngineKind::Serial),
+      spec_with("stdp", 9, sim::EngineKind::Sharded, 4, 2),
+      spec_with("noise", 20260726, sim::EngineKind::Serial),
+  };
+  specs[7].scatter = true;
+  specs[2].boot = true;
+
+  ServerConfig cfg;
+  cfg.workers = 4;
+  cfg.max_sessions = specs.size();
+  SessionServer server(cfg);
+
+  std::vector<SessionId> ids;
+  for (const auto& spec : specs) {
+    std::string error;
+    const SessionId id = server.open(spec, &error);
+    ASSERT_NE(id, kInvalidSession) << error;
+    ASSERT_TRUE(server.run(id, kRun));
+    ids.push_back(id);
+  }
+  // All 8 advance concurrently; drain incrementally while they run so the
+  // comparison also covers the mid-run streaming path.
+  std::vector<Events> streams(ids.size());
+  bool any_running = true;
+  while (any_running) {
+    any_running = false;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      append(streams[i], server.drain(ids[i]));
+      if (server.status(ids[i]).bio_now < kRun) any_running = true;
+    }
+    // Let the workers breathe between polls (single-core hosts).
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(server.wait(ids[i]));
+    append(streams[i], server.drain(ids[i]));
+  }
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE("session " + std::to_string(i) + " app=" + specs[i].app);
+    const Events reference = run_standalone(specs[i], kRun);
+    ASSERT_FALSE(reference.empty());
+    EXPECT_TRUE(same_events(streams[i], reference))
+        << "stream size " << streams[i].size() << " vs reference "
+        << reference.size();
+    EXPECT_TRUE(server.close(ids[i]));
+  }
+}
+
+// An engine taken from the pool after another session's run must behave
+// bit-identically to a fresh one.
+TEST(SessionServer, ReusedEnginesAreBitIdentical) {
+  constexpr TimeNs kRun = 25 * kMillisecond;
+  const SessionSpec sharded = spec_with("noise", 11, sim::EngineKind::Sharded,
+                                        4, 2);
+  const SessionSpec serial = spec_with("stdp", 5, sim::EngineKind::Serial);
+
+  ServerConfig cfg;
+  cfg.workers = 1;
+  SessionServer server(cfg);
+
+  // Warm the pool with both engine shapes — and with different specs than
+  // the ones we verify, so reuse crosses scenario boundaries.
+  for (const auto& warm : {spec_with("chain", 77, sim::EngineKind::Sharded, 4, 2),
+                           spec_with("chain", 78, sim::EngineKind::Serial)}) {
+    const SessionId id = server.open(warm);
+    ASSERT_NE(id, kInvalidSession);
+    ASSERT_TRUE(server.run(id, 5 * kMillisecond));
+    ASSERT_TRUE(server.wait(id));
+    ASSERT_TRUE(server.close(id));
+  }
+  ASSERT_EQ(server.stats().engines.idle, 2u);
+
+  for (const auto& spec : {sharded, serial}) {
+    const SessionId id = server.open(spec);
+    ASSERT_NE(id, kInvalidSession);
+    ASSERT_TRUE(server.run(id, kRun));
+    ASSERT_TRUE(server.wait(id));
+    const Events stream = server.drain(id);
+    const Events reference = run_standalone(spec, kRun);
+    ASSERT_FALSE(reference.empty());
+    EXPECT_TRUE(same_events(stream, reference));
+    ASSERT_TRUE(server.close(id));
+  }
+  EXPECT_GE(server.stats().engines.reused, 2u);
+}
+
+// Splitting one run into many requests changes nothing observable.
+TEST(SessionServer, IncrementalRunsMatchOneShot) {
+  const SessionSpec spec = spec_with("noise", 123, sim::EngineKind::Sharded,
+                                     2, 2);
+  SessionServer server;
+  const SessionId id = server.open(spec);
+  ASSERT_NE(id, kInvalidSession);
+  Events stream;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(server.run(id, 5 * kMillisecond));
+    ASSERT_TRUE(server.wait(id));
+    append(stream, server.drain(id));
+  }
+  const Events reference = run_standalone(spec, 30 * kMillisecond);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_TRUE(same_events(stream, reference));
+}
+
+// ---- capacity: eviction and overload --------------------------------------
+
+TEST(SessionServer, EvictsLeastRecentlyUsedIdleSession) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_sessions = 2;
+  SessionServer server(cfg);
+
+  const SessionId a = server.open(spec_with("chain", 1, sim::EngineKind::Serial));
+  const SessionId b = server.open(spec_with("chain", 2, sim::EngineKind::Serial));
+  ASSERT_NE(a, kInvalidSession);
+  ASSERT_NE(b, kInvalidSession);
+  ASSERT_TRUE(server.run(a, 5 * kMillisecond));
+  ASSERT_TRUE(server.run(b, 5 * kMillisecond));
+  ASSERT_TRUE(server.wait(a));
+  ASSERT_TRUE(server.wait(b));
+  ASSERT_TRUE(server.run(a, 0));  // touch a: b becomes the LRU victim
+
+  const SessionId c = server.open(spec_with("chain", 3, sim::EngineKind::Serial));
+  ASSERT_NE(c, kInvalidSession);
+
+  const SessionStatus evicted = server.status(b);
+  EXPECT_EQ(evicted.id, b);
+  EXPECT_EQ(evicted.state, SessionState::Closed);
+  EXPECT_TRUE(evicted.evicted);
+  EXPECT_EQ(server.status(a).state, SessionState::Ready);  // survivor intact
+  EXPECT_EQ(server.stats().evicted, 1u);
+  EXPECT_EQ(server.stats().resident, 2u);
+  // The evicted id is fully dead: every operation is a clean refusal.
+  EXPECT_FALSE(server.run(b, kMillisecond));
+  EXPECT_TRUE(server.drain(b).empty());
+  EXPECT_FALSE(server.close(b));
+}
+
+TEST(SessionServer, RejectsWhenEveryResidentSessionIsBusy) {
+  // 0 workers: sessions never get serviced, so both stay Pending (busy) and
+  // the third open must shed rather than evict a running session.
+  ServerConfig cfg;
+  cfg.workers = 0;
+  cfg.max_sessions = 2;
+  SessionServer server(cfg);
+  ASSERT_NE(server.open(SessionSpec{}), kInvalidSession);
+  ASSERT_NE(server.open(SessionSpec{}), kInvalidSession);
+  std::string error;
+  EXPECT_EQ(server.open(SessionSpec{}, &error), kInvalidSession);
+  EXPECT_NE(error.find("server full"), std::string::npos);
+  EXPECT_EQ(server.stats().rejected, 1u);
+}
+
+// Manual mode: poll() drives the scheduler deterministically.
+TEST(SessionServer, ManualPollServicesSessions) {
+  ServerConfig cfg;
+  cfg.workers = 0;
+  SessionServer server(cfg);
+  const SessionId id = server.open(spec_with("chain", 4, sim::EngineKind::Serial));
+  ASSERT_NE(id, kInvalidSession);
+  ASSERT_TRUE(server.run(id, 10 * kMillisecond));
+  std::size_t polls = 0;
+  while (server.poll()) ++polls;
+  EXPECT_GE(polls, 10u);  // build + one slice per bio ms
+  EXPECT_EQ(server.status(id).bio_now, 10 * kMillisecond);
+  const Events reference =
+      run_standalone(spec_with("chain", 4, sim::EngineKind::Serial),
+                     10 * kMillisecond);
+  EXPECT_TRUE(same_events(server.drain(id), reference));
+}
+
+// A failing load surfaces as a Failed session, not a dead server.
+TEST(SessionServer, LoadFailureIsContained) {
+  SessionSpec spec;
+  spec.app = "noise";
+  spec.cores_per_chip = 1;
+  spec.neurons_per_core = 1;  // 224 neurons can never fit on 4 cores
+  SessionServer server;
+  const SessionId id = server.open(spec);
+  ASSERT_NE(id, kInvalidSession);
+  server.run(id, kMillisecond);
+  server.wait(id);
+  const SessionStatus st = server.status(id);
+  EXPECT_EQ(st.state, SessionState::Failed);
+  EXPECT_FALSE(st.load_ok);
+  EXPECT_FALSE(st.error.empty());
+  EXPECT_TRUE(server.drain(id).empty());
+  EXPECT_TRUE(server.close(id));  // teardown of a failed session is clean
+  // The server keeps serving.
+  const SessionId next = server.open(SessionSpec{});
+  ASSERT_NE(next, kInvalidSession);
+  EXPECT_TRUE(server.run(next, kMillisecond));
+  EXPECT_TRUE(server.wait(next));
+}
+
+// Booted sessions carry their boot report through status().
+TEST(SessionServer, BootedSessionReportsChipsAlive) {
+  SessionSpec spec = spec_with("noise", 6, sim::EngineKind::Serial);
+  spec.boot = true;
+  SessionServer server;
+  const SessionId id = server.open(spec);
+  ASSERT_NE(id, kInvalidSession);
+  ASSERT_TRUE(server.run(id, 10 * kMillisecond));
+  ASSERT_TRUE(server.wait(id));
+  EXPECT_EQ(server.status(id).chips_alive, 4u);  // 2x2 machine
+  const Events reference = run_standalone(spec, 10 * kMillisecond);
+  EXPECT_TRUE(same_events(server.drain(id), reference));
+}
+
+// Destroying a server with live (even mid-run) sessions is clean; their
+// engines drain back through the pool.  ASan/TSan guard the teardown path.
+TEST(SessionServer, ShutdownWithLiveSessionsIsClean) {
+  ServerConfig cfg;
+  cfg.workers = 2;
+  SessionServer server(cfg);
+  for (int i = 0; i < 4; ++i) {
+    const SessionId id = server.open(
+        spec_with("noise", 50 + static_cast<std::uint64_t>(i),
+                  i % 2 == 0 ? sim::EngineKind::Serial
+                             : sim::EngineKind::Sharded,
+                  2, 2));
+    ASSERT_NE(id, kInvalidSession);
+    ASSERT_TRUE(server.run(id, 200 * kMillisecond));  // won't finish
+  }
+  // Destructor runs here with sessions still owing bio time.
+}
+
+// ---- the incremental drain primitive --------------------------------------
+
+TEST(SpikeRecorderDrain, DrainsAreDisjointAndComplete) {
+  neural::SpikeRecorder rec;
+  rec.record(1, 100);
+  rec.record(2, 200);
+  auto first = rec.drain();
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].time, 1);
+  EXPECT_EQ(first[1].key, 200u);
+  EXPECT_TRUE(rec.drain().empty());  // nothing new
+  rec.record(3, 300);
+  auto second = rec.drain();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].key, 300u);
+  EXPECT_EQ(rec.drained(), 3u);
+  EXPECT_EQ(rec.count(), 3u);            // lifetime total
+  EXPECT_EQ(rec.events().size(), 3u);    // default mode: full log retained
+  rec.clear();
+  EXPECT_EQ(rec.drained(), 0u);
+}
+
+// Streaming mode (what server sessions run): drained events are released,
+// the counters stay monotonic.
+TEST(SpikeRecorderDrain, StreamingModeReleasesDrainedPrefix) {
+  neural::SpikeRecorder rec;
+  rec.retain_drained(false);
+  rec.record(1, 100);
+  rec.record(2, 200);
+  EXPECT_EQ(rec.drain().size(), 2u);
+  EXPECT_TRUE(rec.events().empty());  // prefix released
+  rec.record(3, 300);
+  auto next = rec.drain();
+  ASSERT_EQ(next.size(), 1u);         // drains stay disjoint and complete
+  EXPECT_EQ(next[0].key, 300u);
+  EXPECT_EQ(rec.count(), 3u);         // lifetime total unaffected
+  EXPECT_EQ(rec.drained(), 3u);
+}
+
+}  // namespace
+}  // namespace spinn::server

@@ -248,6 +248,94 @@ TEST(ShardedEquivalence, ThreadCountDoesNotAffectResults) {
   EXPECT_EQ(one, many);
 }
 
+// A pending far-future root-actor event (the signature of an abandoned
+// boot's probe timer) must not force the sequential merge for a whole
+// run_until span: windows are bounded below the root event's `when`, so the
+// run stays parallel — and still bit-identical to serial.
+TEST(ShardedEquivalence, FarFutureRootEventKeepsWindowsOpen) {
+  const Case& c = case_named("scatter_poisson");
+  const std::uint64_t seed = 13u;
+
+  const auto with_probe = [&](System& sys) {
+    // A root no-op 10 simulated seconds out, scheduled before the run like
+    // a leftover protocol timer.
+    sys.simulator().at(sys.now() + 10 * kSecond, [] {});
+    c.scenario(sys);
+  };
+
+  System serial(make_config(c, seed, serial_engine()));
+  with_probe(serial);
+  const Fingerprint reference = fingerprint(serial);
+  ASSERT_FALSE(reference.spikes.empty());
+
+  System sharded(make_config(c, seed, sharded_engine(4, /*threads=*/2)));
+  with_probe(sharded);
+  EXPECT_EQ(reference, fingerprint(sharded));
+
+  auto* engine = dynamic_cast<sim::ShardedSimulator*>(&sharded.engine());
+  ASSERT_NE(engine, nullptr);
+  EXPECT_GT(engine->windows_opened(), 0u)
+      << "a far-future root event forced the whole run onto the "
+         "sequential merge";
+}
+
+// A root event landing *inside* the run span engages the merge exactly at
+// its instant (it mutates machine state across chips) and hands back to
+// parallel windows after — results stay bit-identical.
+TEST(ShardedEquivalence, MidRunRootEventStaysSequentialAndIdentical) {
+  const Case& c = case_named("scatter_poisson");
+  const std::uint64_t seed = 21u;
+
+  const auto with_fault_timer = [&](System& sys) {
+    // Host-side (root actor) code reaching across chips mid-run: fail a
+    // link at t=20 ms, repair it at t=40 ms.
+    sys.simulator().at(20 * kMillisecond,
+                       [&sys] { sys.machine().fail_link({0, 0}, LinkDir::East); });
+    sys.simulator().at(40 * kMillisecond, [&sys] {
+      sys.machine().repair_link({0, 0}, LinkDir::East);
+    });
+    c.scenario(sys);
+  };
+
+  System serial(make_config(c, seed, serial_engine()));
+  with_fault_timer(serial);
+  const Fingerprint reference = fingerprint(serial);
+  ASSERT_FALSE(reference.spikes.empty());
+
+  for (const std::uint32_t shards : {2u, 8u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    System sharded(make_config(c, seed, sharded_engine(shards, 2)));
+    with_fault_timer(sharded);
+    EXPECT_EQ(reference, fingerprint(sharded));
+  }
+}
+
+// Engine reuse: a reset engine drives a new scenario bit-identically to a
+// freshly-constructed one (the server's EnginePool contract, pinned here at
+// the engine level).
+TEST(ShardedEquivalence, ResetEngineIsBitIdenticalToFresh) {
+  const Case& first = case_named("spike_chain");
+  const Case& second = case_named("scatter_poisson");
+  for (const bool sharded : {false, true}) {
+    SCOPED_TRACE(sharded ? "sharded" : "serial");
+    const sim::EngineConfig ec =
+        sharded ? sharded_engine(4, 2) : serial_engine();
+
+    const Fingerprint fresh = run_case(second, 31u, ec);
+
+    auto engine = sim::make_engine(ec, 99u);
+    {
+      // Drive a full unrelated scenario through the engine first...
+      System warmup(make_config(first, 99u, ec), *engine);
+      first.scenario(warmup);
+    }
+    // ...then rebuild the target scenario on the same (reset) engine.
+    System sys(make_config(second, 31u, ec), *engine);
+    second.scenario(sys);
+    EXPECT_EQ(fresh, fingerprint(sys));
+  }
+}
+
 // Re-running the same sharded configuration is bit-stable (no hidden
 // dependence on thread scheduling).
 TEST(ShardedEquivalence, ShardedRunsAreReproducible) {

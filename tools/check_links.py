@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's Markdown documentation.
+
+Scans the given Markdown files (or the repo's documentation set when run
+with no arguments) for inline links and image references, and checks that
+every *relative* target resolves to an existing file or directory, relative
+to the file containing the link.  External links (http/https/mailto) and
+pure in-page anchors (#...) are ignored; a `path#fragment` target is checked
+for the path part only.
+
+Registered as the ctest case `docs_links` and as the CI `docs` job, so a
+renamed file breaks the build, not the reader.
+
+  tools/check_links.py                      # default set, repo-root cwd
+  tools/check_links.py README.md docs/*.md  # explicit files
+"""
+
+import glob
+import os
+import re
+import sys
+
+# Inline Markdown links/images: [text](target) / ![alt](target).  Reference
+# definitions: "[label]: target".
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+DEFAULT_DOCS = ["README.md", "ROADMAP.md", "CHANGES.md", "PAPER.md",
+                "docs/*.md"]
+
+
+def strip_code(text):
+    """Remove fenced and inline code spans (links there are examples)."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def is_external(target):
+    return target.startswith(("http://", "https://", "mailto:", "ftp://"))
+
+
+def check_file(path):
+    """Return a list of 'file: broken target' strings."""
+    with open(path, encoding="utf-8") as f:
+        text = strip_code(f.read())
+    errors = []
+    targets = INLINE_LINK.findall(text) + REF_DEF.findall(text)
+    base = os.path.dirname(path)
+    for target in targets:
+        if is_external(target) or target.startswith("#"):
+            continue
+        local = target.split("#", 1)[0]
+        if not local:
+            continue
+        resolved = os.path.normpath(os.path.join(base, local))
+        if not os.path.exists(resolved):
+            errors.append("%s: broken link '%s' (resolved to %s)"
+                          % (path, target, resolved))
+    return errors
+
+
+def main():
+    patterns = sys.argv[1:] or DEFAULT_DOCS
+    files = []
+    for pattern in patterns:
+        matches = sorted(glob.glob(pattern))
+        if not matches and "*" not in pattern:
+            print("check_links: no such file '%s'" % pattern,
+                  file=sys.stderr)
+            return 2
+        files.extend(matches)
+    if not files:
+        print("check_links: nothing to scan", file=sys.stderr)
+        return 2
+
+    errors = []
+    for path in files:
+        errors.extend(check_file(path))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print("check_links: %d file(s) scanned, %d broken link(s)"
+          % (len(files), len(errors)))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
