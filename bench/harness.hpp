@@ -31,6 +31,17 @@
 
 namespace spinn::bench {
 
+/// Linear-interpolated percentile of a sample set (p in [0, 1]); 0 when
+/// empty.  Shared by the benches that publish p50/p99 latency metrics.
+inline double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double pos = p * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  return xs[lo] + (xs[hi] - xs[lo]) * (pos - static_cast<double>(lo));
+}
+
 class Harness {
  public:
   Harness(std::string name, int argc, char** argv) : name_(std::move(name)) {
@@ -89,19 +100,29 @@ class Harness {
 
   bool quiet() const { return quiet_; }
 
+  /// True while run() is executing the untimed warmup repetitions — lets a
+  /// bench keep cold-start samples out of latency metrics it accumulates
+  /// inside the section body.
+  bool warming_up() const { return warming_up_; }
+
   // Runs `fn` warmup_ times untimed, then reps_ times timed, and records a
   // section with min/mean/max wall-clock nanoseconds per repetition.  The
   // bench's printed report (if any) repeats with the body; --quiet sends
-  // it to /dev/null.
+  // it to /dev/null.  `min_reps` lets a bench demand repetitions even when
+  // the CLI asked for one — for sections so short that a single sample is
+  // mostly scheduler noise (the min over reps is the published time).
   template <class F>
-  void run(const std::string& section, F&& fn) {
+  void run(const std::string& section, F&& fn, int min_reps = 1) {
     using clock = std::chrono::steady_clock;
+    const int reps = std::max(reps_, min_reps);
+    warming_up_ = true;
     for (int i = 0; i < warmup_; ++i) fn();
+    warming_up_ = false;
     Section s;
     s.name = section;
-    s.reps = reps_;
+    s.reps = reps;
     s.warmup = warmup_;
-    for (int i = 0; i < reps_; ++i) {
+    for (int i = 0; i < reps; ++i) {
       const auto t0 = clock::now();
       fn();
       const auto t1 = clock::now();
@@ -215,6 +236,7 @@ class Harness {
   int reps_ = 1;
   int warmup_ = 0;
   bool quiet_ = false;
+  bool warming_up_ = false;
   std::vector<Section> sections_;
   std::vector<Metric> metrics_;
 };

@@ -151,18 +151,13 @@ bool handle(server::SessionServer& srv, const std::string& line) {
     return true;
   }
   if (cmd == "run") {
-    // Bounded parse: !(ms > 0) rejects NaN/garbage, the cap keeps the
-    // double→TimeNs conversion representable (no UB) and the request sane.
-    constexpr double kMaxRunMs = 1e9;  // ~11.5 days of biological time
-    double ms = 0.0;
-    if (args.size() < 3 || !((ms = std::atof(args[2].c_str())) > 0.0) ||
-        ms > kMaxRunMs) {
-      std::printf("err usage: run <id> <bio ms in (0, %.0e]>\n", kMaxRunMs);
+    TimeNs duration = 0;
+    if (args.size() < 3 || !server::parse_run_ms(args[2], &duration)) {
+      std::printf("err usage: run <id> <bio ms in (0, 1e9]>\n");
       return true;
     }
-    std::printf(srv.run(id, static_cast<TimeNs>(ms * kMillisecond))
-                    ? "ok\n"
-                    : "err unknown or closed session\n");
+    std::printf(srv.run(id, duration) ? "ok\n"
+                                      : "err unknown or closed session\n");
   } else if (cmd == "wait") {
     if (!srv.wait(id)) {
       std::printf("err unknown session\n");

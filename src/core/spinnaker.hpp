@@ -22,6 +22,9 @@
 #include "link/link_timing.hpp"
 #include "map/loader.hpp"
 #include "mesh/machine.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
 #include "neural/network.hpp"
 #include "neural/retina.hpp"
 #include "router/router.hpp"

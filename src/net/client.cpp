@@ -1,0 +1,99 @@
+#include "net/client.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace spinn::net {
+
+namespace {
+/// Cork ceiling: past this the pending frames go to the wire even without
+/// an intervening receive, so a very deep pipeline can't balloon memory.
+constexpr std::size_t kCorkLimit = 64 * 1024;
+/// The client accepts responses of any size the server may send (the
+/// server bounds its own responses via max_write_buffer).
+constexpr std::size_t kClientMaxFrame = 1u << 30;
+}  // namespace
+
+Client::Client(std::uint16_t port) : in_(kClientMaxFrame) {
+  std::string error;
+  fd_ = connect_loopback(port, &error);
+  if (!fd_) {
+    throw std::runtime_error("net: cannot connect to 127.0.0.1:" +
+                             std::to_string(port) + " (" + error + ")");
+  }
+}
+
+bool Client::send(const std::string& frame) {
+  if (!fd_) return false;
+  append_frame(cork_, frame);
+  return cork_.size() < kCorkLimit ? true : flush();
+}
+
+bool Client::flush() {
+  if (!fd_) return false;
+  if (cork_.empty()) return true;
+  const bool ok = send_all(fd_.get(), cork_.data(), cork_.size());
+  cork_.clear();
+  if (!ok) fd_.close();
+  return ok;
+}
+
+std::string Client::receive() {
+  if (!flush()) return {};
+  std::string payload;
+  while (!in_.next(&payload)) {
+    char buf[64 * 1024];
+    const ssize_t got = ::recv(fd_.get(), buf, sizeof buf, 0);
+    if (got > 0) {
+      in_.feed(buf, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    fd_.close();  // EOF (shed / shutdown) or hard error
+    return {};
+  }
+  return payload;
+}
+
+std::string Client::request(const std::string& line) {
+  if (!send(line)) return {};
+  return receive();
+}
+
+std::string Client::batch(const std::vector<std::string>& lines) {
+  std::string frame;
+  for (const auto& line : lines) {
+    if (!frame.empty()) frame += '\n';
+    frame += line;
+  }
+  return request(frame);
+}
+
+std::vector<std::string> Client::split_response(const std::string& payload) {
+  std::vector<std::string> blocks;
+  std::size_t start = 0;
+  std::size_t spike_lines = 0;  // `s ...` lines still owed to blocks.back()
+  while (start <= payload.size() && !payload.empty()) {
+    const std::size_t nl = payload.find('\n', start);
+    const std::size_t end = nl == std::string::npos ? payload.size() : nl;
+    const std::string line = payload.substr(start, end - start);
+    if (spike_lines > 0) {
+      blocks.back() += '\n' + line;
+      --spike_lines;
+    } else {
+      blocks.push_back(line);
+      if (line.rfind("spikes ", 0) == 0) {
+        spike_lines = static_cast<std::size_t>(
+            std::strtoull(line.c_str() + 7, nullptr, 10));
+      }
+    }
+    if (nl == std::string::npos) break;
+    start = nl + 1;
+  }
+  return blocks;
+}
+
+}  // namespace spinn::net

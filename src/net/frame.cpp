@@ -1,0 +1,54 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace spinn::net {
+
+void append_frame(std::string& out, const std::string& payload) {
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  char header[kFrameHeader];
+  header[0] = static_cast<char>(n & 0xFF);
+  header[1] = static_cast<char>((n >> 8) & 0xFF);
+  header[2] = static_cast<char>((n >> 16) & 0xFF);
+  header[3] = static_cast<char>((n >> 24) & 0xFF);
+  out.append(header, kFrameHeader);
+  out.append(payload);
+}
+
+bool FrameDecoder::next(std::string* payload) {
+  const auto compact = [&] {
+    if (pos_ == buf_.size()) {
+      buf_.clear();
+      pos_ = 0;
+    } else if (pos_ > 64 * 1024 && pos_ > buf_.size() / 2) {
+      buf_.erase(0, pos_);
+      pos_ = 0;
+    }
+  };
+  if (overflowed_ || buf_.size() - pos_ < kFrameHeader) {
+    compact();
+    return false;
+  }
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(
+        static_cast<unsigned char>(buf_[pos_ + i]));
+  };
+  const std::uint32_t n = b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+  if (n > max_frame_) {
+    overflowed_ = true;
+    return false;
+  }
+  if (buf_.size() - pos_ < kFrameHeader + n) {
+    compact();
+    return false;
+  }
+  payload->assign(buf_, pos_ + kFrameHeader, n);
+  pos_ += kFrameHeader + n;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return true;
+}
+
+}  // namespace spinn::net

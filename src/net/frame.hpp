@@ -1,0 +1,54 @@
+// Length-prefixed framing for the socket transport.
+//
+// A frame is a 4-byte little-endian payload length followed by the payload
+// bytes.  The payload is line-protocol text: one command line, or several
+// newline-separated lines forming a batch (see net/protocol.hpp).  Framing
+// rather than raw newline-delimited text buys three things over the stdio
+// repl: requests survive arbitrary TCP segmentation, a response of any
+// shape (including embedded newlines — a drained spike stream) is one
+// unambiguous unit, and a reader can size-check a frame *before* buffering
+// it, which is where the transport's flood protection hangs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace spinn::net {
+
+/// Frame header size: 4-byte little-endian payload length.
+inline constexpr std::size_t kFrameHeader = 4;
+
+/// Append one encoded frame (header + payload) to `out`.
+void append_frame(std::string& out, const std::string& payload);
+
+/// Incremental frame decoder: feed() raw bytes as they arrive, next() pops
+/// complete frames in order.  A frame longer than `max_frame` poisons the
+/// decoder (overflowed() stays true and next() stops yielding) — the
+/// connection is unrecoverable at that point and should be shed.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame) : max_frame_(max_frame) {}
+
+  void feed(const char* data, std::size_t n) { buf_.append(data, n); }
+
+  /// Extract the next complete frame's payload.  False when no complete
+  /// frame is buffered (or the decoder overflowed).
+  bool next(std::string* payload);
+
+  bool overflowed() const { return overflowed_; }
+
+  /// Bytes buffered but not yet consumed (header + partial payload).
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::size_t max_frame_;
+  std::string buf_;
+  /// Consumed prefix of buf_: advancing a cursor instead of erasing the
+  /// front keeps burst decoding linear (the buffer compacts once all
+  /// complete frames are popped, or when the dead prefix grows large).
+  std::size_t pos_ = 0;
+  bool overflowed_ = false;
+};
+
+}  // namespace spinn::net

@@ -1,0 +1,286 @@
+#include "net/protocol.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace spinn::net {
+
+namespace {
+
+using server::parse_run_ms;
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::size_t end = nl == std::string::npos ? text.size() : nl;
+    std::string line = text.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) lines.push_back(std::move(line));
+    if (nl == std::string::npos) break;
+    start = nl + 1;
+  }
+  return lines;
+}
+
+// Hand-rolled splitter: tokenize runs once per command on the serving hot
+// path, where istringstream costs more than the whole framing layer.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.emplace_back(line, start, i - start);
+  }
+  return tokens;
+}
+
+std::string u64(std::uint64_t v) { return std::to_string(v); }
+
+std::string format_status(const server::SessionStatus& st) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "id=%" PRIu64 " state=%s evicted=%d t=%" PRId64
+                " target=%" PRId64 " spikes=%zu drained=%zu chips=%zu "
+                "load_ok=%d",
+                st.id, server::to_string(st.state), st.evicted ? 1 : 0,
+                st.bio_now, st.bio_target, st.spikes_recorded,
+                st.spikes_drained, st.chips_alive, st.load_ok ? 1 : 0);
+  std::string out(buf);
+  if (!st.error.empty()) out += " error=" + st.error;
+  return out;
+}
+
+std::string format_stats(const server::ServerStats& st) {
+  return "sessions opened=" + u64(st.opened) + " closed=" + u64(st.closed) +
+         " evicted=" + u64(st.evicted) + " rejected=" + u64(st.rejected) +
+         " rejected_cost=" + u64(st.rejected_cost) +
+         " resident=" + std::to_string(st.resident) +
+         " cost=" + u64(st.cost_resident) + "/" + u64(st.cost_budget) +
+         " engines created=" + u64(st.engines.created) +
+         " reused=" + u64(st.engines.reused) +
+         " idle=" + std::to_string(st.engines.idle);
+}
+
+}  // namespace
+
+std::string format_spikes(
+    const std::vector<neural::SpikeRecorder::Event>& events) {
+  std::string out = "spikes " + std::to_string(events.size());
+  char line[64];
+  for (const auto& e : events) {
+    std::snprintf(line, sizeof line, "\ns %" PRId64 " %" PRIu32, e.time,
+                  static_cast<std::uint32_t>(e.key));
+    out += line;
+  }
+  return out;
+}
+
+bool parse_spikes(const std::string& block,
+                  std::vector<neural::SpikeRecorder::Event>* events) {
+  // strtoll walk rather than istringstream: clients parse one of these per
+  // drain, with one line per spike.
+  const char* p = block.c_str();
+  if (std::strncmp(p, "spikes ", 7) != 0) return false;
+  p += 7;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(p, &end, 10);
+  if (end == p) return false;
+  p = end;
+  // Bound the reservation by what the block could possibly hold (every
+  // spike line is >= 6 bytes): a corrupt count must fail the parse, not
+  // throw length_error out of reserve().
+  if (n > block.size() / 6 + 1) return false;
+  events->clear();
+  events->reserve(n);
+  for (unsigned long long i = 0; i < n; ++i) {
+    if (p[0] != '\n' || p[1] != 's' || p[2] != ' ') return false;
+    p += 3;
+    neural::SpikeRecorder::Event e;
+    e.time = static_cast<TimeNs>(std::strtoll(p, &end, 10));
+    if (end == p || *end != ' ') return false;
+    p = end + 1;
+    e.key = static_cast<RoutingKey>(std::strtoull(p, &end, 10));
+    if (end == p) return false;
+    p = end;
+    events->push_back(e);
+  }
+  return *p == '\0';
+}
+
+bool parse_open_id(const std::string& response, server::SessionId* id) {
+  constexpr const char* kPrefix = "ok id=";
+  if (response.rfind(kPrefix, 0) != 0) return false;
+  char* end = nullptr;
+  const unsigned long long v =
+      std::strtoull(response.c_str() + std::string(kPrefix).size(), &end, 10);
+  if (end == nullptr || (*end != '\0' && *end != '\n')) return false;
+  *id = static_cast<server::SessionId>(v);
+  return true;
+}
+
+Request::Request(server::SessionServer& srv, const std::string& frame)
+    : srv_(srv), lines_(split_lines(frame)) {}
+
+void Request::respond(const std::string& block) {
+  if (!response_.empty()) response_ += '\n';
+  response_ += block;
+}
+
+bool Request::resolve_id(const std::string& token,
+                         server::SessionId* id) const {
+  if (token == "$") {
+    if (batch_id_ == server::kInvalidSession) return false;
+    *id = batch_id_;
+    return true;
+  }
+  if (token.empty() || token[0] < '0' || token[0] > '9') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *id = static_cast<server::SessionId>(v);
+  return true;
+}
+
+void Request::exec_open(const std::vector<std::string>& tokens) {
+  server::SessionSpec spec;
+  std::string error;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      batch_id_ = server::kInvalidSession;  // malformed open unbinds `$`
+      respond("err expected key=value, got '" + tokens[i] + "'");
+      ++next_line_;
+      return;
+    }
+    if (!server::apply_kv(spec, tokens[i].substr(0, eq),
+                          tokens[i].substr(eq + 1), &error)) {
+      batch_id_ = server::kInvalidSession;
+      respond("err " + error);
+      ++next_line_;
+      return;
+    }
+  }
+  // Batch peephole: `open ...` immediately followed by `run $ <ms>`
+  // executes as open_and_run — admission, build and the first run in one
+  // scheduler submission (and the run feeds the admission cost).
+  TimeNs first_run = 0;
+  bool fused = false;
+  if (next_line_ + 1 < lines_.size()) {
+    const auto next = tokenize(lines_[next_line_ + 1]);
+    if (next.size() == 3 && next[0] == "run" && next[1] == "$" &&
+        parse_run_ms(next[2], &first_run)) {
+      fused = true;
+    }
+  }
+  const server::SessionId id =
+      fused ? srv_.open_and_run(spec, first_run, &error)
+            : srv_.open(spec, &error);
+  if (id == server::kInvalidSession) {
+    // A failed open leaves `$` unbound — even if an earlier open in this
+    // batch succeeded, later `$` commands must not silently fall through
+    // to the wrong session.
+    batch_id_ = server::kInvalidSession;
+    respond("err " + error);
+    ++next_line_;  // a fused run still reports against the failed open
+    return;
+  }
+  batch_id_ = id;
+  respond("ok id=" + u64(id));
+  ++next_line_;
+  if (fused) {
+    respond("ok");
+    ++next_line_;
+  }
+}
+
+bool Request::advance() {
+  waiting_ = server::kInvalidSession;
+  while (next_line_ < lines_.size()) {
+    const std::vector<std::string> tokens = tokenize(lines_[next_line_]);
+    if (tokens.empty()) {
+      ++next_line_;
+      continue;
+    }
+    const std::string& cmd = tokens[0];
+    if (cmd == "open") {
+      exec_open(tokens);
+      continue;
+    }
+    if (cmd == "ping") {
+      respond("ok");
+      ++next_line_;
+      continue;
+    }
+    if (cmd == "apps") {
+      std::string block = "apps";
+      for (const auto& name : server::app_names()) block += " " + name;
+      respond(block);
+      ++next_line_;
+      continue;
+    }
+    if (cmd == "stats") {
+      respond(format_stats(srv_.stats()));
+      ++next_line_;
+      continue;
+    }
+    // Everything below addresses a session: <cmd> <id|$> [...].
+    server::SessionId id = server::kInvalidSession;
+    if (tokens.size() < 2 || !resolve_id(tokens[1], &id)) {
+      respond(tokens.size() >= 2 && tokens[1] == "$"
+                  ? "err no successful open in this batch"
+                  : "err usage: " + cmd + " <id|$> ...");
+      ++next_line_;
+      continue;
+    }
+    if (cmd == "run") {
+      TimeNs duration = 0;
+      if (tokens.size() < 3 || !parse_run_ms(tokens[2], &duration)) {
+        respond("err usage: run <id|$> <bio ms in (0, 1e9]>");
+      } else {
+        respond(srv_.run(id, duration) ? "ok"
+                                       : "err unknown or closed session");
+      }
+      ++next_line_;
+    } else if (cmd == "wait") {
+      const server::SessionStatus st = srv_.status(id);
+      if (st.id == server::kInvalidSession) {
+        respond("err unknown session");
+        ++next_line_;
+        continue;
+      }
+      if (srv_.busy(id)) {
+        // Park: the transport resumes advance() once the session idles.
+        // The line is not consumed — re-execution re-checks busy().
+        waiting_ = id;
+        return false;
+      }
+      respond("ok t=" + std::to_string(srv_.status(id).bio_now));
+      ++next_line_;
+    } else if (cmd == "drain") {
+      respond(format_spikes(srv_.drain(id)));
+      ++next_line_;
+    } else if (cmd == "status") {
+      const server::SessionStatus st = srv_.status(id);
+      respond(st.id == server::kInvalidSession ? "err unknown session"
+                                               : format_status(st));
+      ++next_line_;
+    } else if (cmd == "close") {
+      respond(srv_.close(id) ? "ok" : "err unknown or already closed");
+      ++next_line_;
+    } else {
+      respond("err unknown command '" + cmd + "'");
+      ++next_line_;
+    }
+  }
+  if (response_.empty()) respond("err empty request");
+  done_ = true;
+  return true;
+}
+
+}  // namespace spinn::net

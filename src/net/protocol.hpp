@@ -1,0 +1,80 @@
+// The wire protocol: line-protocol verbs over length-prefixed frames.
+//
+// A request frame carries one command line, or several newline-separated
+// lines forming a **batch** that executes in order and answers as one
+// response frame — a client gets `open; run; wait; drain; close` for a
+// single round-trip instead of five.  Within a batch, `$` names the id
+// returned by the batch's own `open`, so a client can script a whole
+// session lifecycle without knowing the id in advance.  The adjacent pair
+// `open ...` + `run $ <ms>` is executed as SessionServer::open_and_run —
+// one scheduler submission covers admission, build and the first run.
+//
+// Execution is *resumable*: `wait` on a session that still owes work parks
+// the request (waiting_on() says which session) instead of blocking, and
+// the transport resumes advance() once the session idles — that is what
+// lets a single reactor thread multiplex hundreds of pipelined
+// connections.  Responses are machine-first: integer nanoseconds and
+// decimal keys, so a drained spike stream is bit-exact (`tests/
+// net_test.cpp` holds socket streams to the same standard as embedded
+// runs).  docs/SERVER.md documents every verb and response shape.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/server.hpp"
+
+namespace spinn::net {
+
+/// One request frame being executed against a SessionServer.
+class Request {
+ public:
+  Request(server::SessionServer& srv, const std::string& frame);
+
+  /// Execute command lines until the response is complete (true) or a
+  /// `wait` parks on a busy session (false; see waiting_on()).  Call again
+  /// after the session idles — or whenever, re-parking is harmless.
+  bool advance();
+
+  bool done() const { return done_; }
+
+  /// While parked: the session whose idleness unblocks the request.
+  server::SessionId waiting_on() const { return waiting_; }
+
+  /// Complete response payload; valid once done().  One response block per
+  /// command line, joined by newlines (a drain block spans 1+n lines and
+  /// announces n on its first line, so the boundary stays parseable).
+  const std::string& response() const { return response_; }
+
+  /// Number of command lines in the frame (> 1 means batch).
+  std::size_t commands() const { return lines_.size(); }
+
+ private:
+  void respond(const std::string& block);
+  void exec_open(const std::vector<std::string>& tokens);
+  bool resolve_id(const std::string& token, server::SessionId* id) const;
+
+  server::SessionServer& srv_;
+  std::vector<std::string> lines_;
+  std::size_t next_line_ = 0;
+  server::SessionId batch_id_ = server::kInvalidSession;  // the `$` binding
+  server::SessionId waiting_ = server::kInvalidSession;
+  std::string response_;
+  bool done_ = false;
+};
+
+/// Render a drained spike stream as a response block: `spikes <n>` then one
+/// `s <time_ns> <key>` line per event (exact integers — the determinism
+/// contract crosses the wire intact).
+std::string format_spikes(
+    const std::vector<neural::SpikeRecorder::Event>& events);
+
+/// Parse a `spikes <n>` block back into events.  False on malformed input.
+bool parse_spikes(const std::string& block,
+                  std::vector<neural::SpikeRecorder::Event>* events);
+
+/// Parse `ok id=<id>`.  False (id untouched) for any other response.
+bool parse_open_id(const std::string& response, server::SessionId* id);
+
+}  // namespace spinn::net

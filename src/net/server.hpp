@@ -1,0 +1,114 @@
+// NetServer: the socket transport in front of a SessionServer.
+//
+// One reactor thread multiplexes every client connection over poll():
+// frames are decoded incrementally, each frame becomes a net::Request
+// executed against the embedded SessionServer, and responses queue on a
+// bounded per-connection write buffer.  Three properties carry the load
+// story:
+//
+//  * **Pipelining** — a connection may send any number of request frames
+//    without reading responses; they execute in order and answer in order
+//    (up to `max_pipeline` in flight, beyond which the flooding connection
+//    is shed).
+//  * **Parked waits** — a `wait` on a busy session suspends that
+//    connection's current request (later frames stay queued behind it) and
+//    resumes via SessionServer::notify_idle through a wakeup pipe; the
+//    reactor thread never blocks on simulation progress, so one slow
+//    session cannot stall the other connections.
+//  * **Backpressure** — a connection that stops reading while responses
+//    accumulate past `max_write_buffer` bytes is shed (closed, counted in
+//    stats) instead of growing the server's memory: slow readers lose
+//    their connection, not the server.
+//
+// Admission control is the SessionServer's cost-aware policy
+// (ServerConfig::cost_budget); the transport adds only connection-level
+// limits.  Protocol reference: docs/SERVER.md; client side: net/client.hpp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "net/socket.hpp"
+#include "server/server.hpp"
+
+namespace spinn::net {
+
+struct NetConfig {
+  /// TCP port on 127.0.0.1; 0 = ephemeral (read the choice from port()).
+  std::uint16_t port = 0;
+  /// Concurrent connections; accepts beyond this are closed immediately.
+  std::size_t max_connections = 128;
+  /// Hard cap on a single request or response frame.
+  std::size_t max_frame = 8u << 20;
+  /// Per-connection response backlog before a slow reader is shed.
+  std::size_t max_write_buffer = 8u << 20;
+  /// Decoded-but-unserviced request frames per connection before a
+  /// flooding writer is shed.
+  std::size_t max_pipeline = 256;
+  /// Single-threaded serving: the reactor itself drives the session
+  /// scheduler (bounded quanta between socket polls) instead of scheduler
+  /// workers.  With `session.workers = 0` this removes every cross-thread
+  /// handoff from the serving path — no condvars, no wakeup pipes between
+  /// transport and simulation — which is the fastest configuration on
+  /// few-core hosts (see bench_e14).  Embedded API calls still work: run()
+  /// submissions signal the reactor through the work hook, and wait()
+  /// blocks the caller, not the reactor.
+  bool reactor_drives = false;
+  /// The embedded session server (workers, slice, max_sessions,
+  /// cost_budget, engine pool).
+  server::ServerConfig session;
+};
+
+struct NetStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t refused = 0;        // over max_connections
+  std::uint64_t shed_slow = 0;      // write backlog over max_write_buffer
+  std::uint64_t shed_flood = 0;     // pipeline depth / frame-size violations
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t batches = 0;        // frames carrying > 1 command
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::size_t connections = 0;      // currently open
+};
+
+class NetServer {
+ public:
+  /// Binds and starts the reactor thread.  Throws std::runtime_error when
+  /// the socket cannot be bound (port in use).
+  explicit NetServer(const NetConfig& cfg = NetConfig{});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// The bound port (the ephemeral choice when cfg.port was 0).
+  std::uint16_t port() const { return port_; }
+
+  /// The embedded session server — the same instance the sockets drive, so
+  /// embedders can mix transport and API access (tests compare both).
+  server::SessionServer& sessions() { return sessions_; }
+
+  NetStats stats() const;
+
+  /// Stop accepting, drop every connection, join the reactor.  Sessions
+  /// survive (the SessionServer tears down with the object, not the
+  /// transport).  Idempotent.
+  void stop();
+
+ private:
+  struct Impl;
+  void loop();
+
+  NetConfig cfg_;
+  server::SessionServer sessions_;
+  std::uint16_t port_ = 0;
+  std::unique_ptr<Impl> impl_;
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;  // serialises reactor_.join() across stop() calls
+  std::thread reactor_;
+};
+
+}  // namespace spinn::net

@@ -1,0 +1,150 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace spinn::net {
+
+namespace {
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Fd::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+Fd listen_loopback(std::uint16_t port, std::uint16_t* bound_port,
+                   std::string* error) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd) {
+    if (error != nullptr) *error = errno_text("socket");
+    return {};
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (error != nullptr) *error = errno_text("bind");
+    return {};
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    if (error != nullptr) *error = errno_text("getsockname");
+    return {};
+  }
+  if (bound_port != nullptr) *bound_port = ntohs(addr.sin_port);
+  if (::listen(fd.get(), 128) != 0) {
+    if (error != nullptr) *error = errno_text("listen");
+    return {};
+  }
+  if (!set_nonblocking(fd.get())) {
+    if (error != nullptr) *error = errno_text("fcntl(O_NONBLOCK)");
+    return {};
+  }
+  return fd;
+}
+
+Fd connect_loopback(std::uint16_t port, std::string* error) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd) {
+    if (error != nullptr) *error = errno_text("socket");
+    return {};
+  }
+  sockaddr_in addr = loopback_addr(port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    if (error != nullptr) *error = errno_text("connect");
+    return {};
+  }
+  set_nodelay(fd.get());
+  return fd;
+}
+
+Fd accept_nonblocking(int listen_fd) {
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) return {};
+  if (!set_nonblocking(fd)) {
+    ::close(fd);
+    return {};
+  }
+  set_nodelay(fd);
+  return Fd(fd);
+}
+
+bool send_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    // MSG_NOSIGNAL: a peer that reset the connection must surface as an
+    // EPIPE return, not a process-killing SIGPIPE.
+    const ssize_t sent = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (sent == 0) return false;
+    data += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+bool recv_exact(int fd, char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t got = ::recv(fd, data, n, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // orderly shutdown mid-message
+    data += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+}  // namespace spinn::net

@@ -1,0 +1,66 @@
+// Thin portable wrappers over loopback TCP sockets.
+//
+// The transport deliberately binds 127.0.0.1 only: this is the simulator's
+// host-link front door (the paper's Ethernet-attached Host System, Fig. 1),
+// not an internet-facing daemon.  Everything above this file speaks in
+// `Fd` handles and byte buffers; everything below is POSIX.  Windows is not
+// supported (the tree targets the POSIX toolchains CI builds with).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace spinn::net {
+
+/// RAII file descriptor.  Movable, not copyable; -1 = empty.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  ~Fd() { close(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  explicit operator bool() const { return fd_ >= 0; }
+  void close();
+  /// Relinquish ownership (the caller closes).
+  int release();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listen on 127.0.0.1:`port` (0 = ephemeral).  On success returns the
+/// listening socket (non-blocking, SO_REUSEADDR) and stores the actual
+/// port in *bound_port.  On failure returns an empty Fd with *error set.
+Fd listen_loopback(std::uint16_t port, std::uint16_t* bound_port,
+                   std::string* error);
+
+/// Blocking connect to 127.0.0.1:`port`.  Empty Fd + *error on failure.
+Fd connect_loopback(std::uint16_t port, std::string* error);
+
+/// Accept one pending connection as a non-blocking socket; empty Fd when
+/// none is pending (or on error).
+Fd accept_nonblocking(int listen_fd);
+
+/// Make `fd` non-blocking.  False on error.
+bool set_nonblocking(int fd);
+
+/// Disable Nagle: request/response framing wants the frame on the wire
+/// now, not coalesced 40 ms later.
+void set_nodelay(int fd);
+
+/// Blocking send of the whole buffer (for the client side).  False on
+/// error/EOF.
+bool send_all(int fd, const char* data, std::size_t n);
+
+/// Blocking receive of exactly `n` bytes (for the client side).  False on
+/// error/EOF.
+bool recv_exact(int fd, char* data, std::size_t n);
+
+}  // namespace spinn::net

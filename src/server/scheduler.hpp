@@ -11,6 +11,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -33,6 +34,13 @@ class SessionScheduler {
   /// Make the session eligible for worker time (no-op if already queued).
   void submit(const std::shared_ptr<Session>& session);
 
+  /// Invoke `hook` whenever a session lands in the ready queue.  A
+  /// transport that drives the scheduler itself (0-worker single-threaded
+  /// mode) registers its wakeup here so embedded submissions can't sleep
+  /// through a 0-worker poll loop.  The hook runs outside the queue lock
+  /// and must be cheap and non-reentrant (a pipe write, not a drive()).
+  void set_submit_hook(std::function<void()> hook);
+
   /// Service at most one queued session for one slice on the calling
   /// thread.  Returns false when the queue was empty.  This is the worker
   /// loop body, exposed for 0-worker deterministic operation.
@@ -50,6 +58,7 @@ class SessionScheduler {
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::shared_ptr<Session>> ready_;
+  std::function<void()> submit_hook_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

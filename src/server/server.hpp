@@ -10,15 +10,22 @@
 // teardown*.  Transport is whatever wraps this class (examples/server_repl
 // speaks a line protocol on stdio); the subsystem is the point.
 //
-// Capacity: at most `max_sessions` sessions are resident.  Opening one more
-// evicts the least-recently-used idle session (state Ready/Failed with no
-// queued work); if every resident session is busy the open is rejected —
-// overload sheds new work instead of degrading running sessions.
+// Capacity: admission is cost-aware.  Every session carries an estimated
+// cost — spec footprint × declared biological time (admission_cost) — and
+// the sum of resident costs is budgeted against `cost_budget` alongside the
+// `max_sessions` count cap.  Opening a session that would overflow either
+// limit evicts idle sessions (state Ready/Failed with no queued work) in
+// descending cost order, ties broken least-recently-used — so when every
+// spec declares no bio time (cost 0) the policy degenerates to the classic
+// LRU.  If the new session still doesn't fit (every resident session busy,
+// or the budget can't be freed) the open is rejected — overload sheds new
+// work instead of degrading running sessions.
 //
 // See docs/SERVER.md for the protocol reference and worked examples.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -37,6 +44,9 @@ struct ServerConfig {
   std::uint32_t workers = 2;
   /// Resident-session cap; see eviction note above.
   std::size_t max_sessions = 8;
+  /// Resident cost budget in admission_cost units (spec footprint ×
+  /// declared bio ms).  0 = unlimited: only the count cap applies.
+  std::uint64_t cost_budget = 0;
   /// Biological time serviced per scheduling quantum.  Smaller = fairer
   /// interleaving and fresher drains; larger = less locking overhead.
   TimeNs slice = kMillisecond;
@@ -46,9 +56,14 @@ struct ServerConfig {
 struct ServerStats {
   std::uint64_t opened = 0;
   std::uint64_t rejected = 0;
+  /// Of `rejected`: opens shed because the cost budget could not be freed.
+  std::uint64_t rejected_cost = 0;
   std::uint64_t closed = 0;   // client closes (eviction counted separately)
   std::uint64_t evicted = 0;
   std::size_t resident = 0;
+  /// Sum of resident session costs and the configured budget (0 = unlimited).
+  std::uint64_t cost_resident = 0;
+  std::uint64_t cost_budget = 0;
   EnginePool::Stats engines;
 };
 
@@ -66,11 +81,29 @@ class SessionServer {
   /// invalid or the server is full of busy sessions.
   SessionId open(const SessionSpec& spec, std::string* error = nullptr);
 
+  /// Admit a session with its first run request already queued: one
+  /// scheduler submission covers build + run, so a batched client
+  /// (`open; run`) costs a single round-trip through the ready queue.
+  /// `duration` also feeds the admission cost (max of it and bio_hint).
+  SessionId open_and_run(const SessionSpec& spec, TimeNs duration,
+                         std::string* error = nullptr);
+
   /// Queue `duration` more biological time.  False for unknown/closed ids.
   bool run(SessionId id, TimeNs duration);
 
   /// Block until the session has no pending work.  False for unknown ids.
   bool wait(SessionId id);
+
+  /// Non-blocking wait probe: true while the session is known and still
+  /// owes work (a wait() would block).  Unknown ids are not busy.
+  bool busy(SessionId id) const;
+
+  /// Invoke `fn` exactly once when the session next has no pending work
+  /// (immediately, on this thread, if it is already idle; from a scheduler
+  /// worker otherwise).  The non-blocking sibling of wait(): transports
+  /// park pipelined `wait` requests on it instead of tying up a thread.
+  /// False for unknown ids (`fn` is not invoked).
+  bool notify_idle(SessionId id, std::function<void()> fn);
 
   /// Spikes recorded since the caller's previous drain (empty for unknown
   /// or torn-down sessions).
@@ -88,13 +121,27 @@ class SessionServer {
   /// the calling thread.  Returns false when no session had queued work.
   bool poll();
 
+  /// Register a cheap signal fired whenever session work lands in the
+  /// ready queue.  A transport that drives the scheduler itself via poll()
+  /// (single-threaded serving: NetConfig::reactor_drives) hooks its wakeup
+  /// here, so work submitted through the embedded API can't sleep through
+  /// its event loop.  The signal runs on the submitting thread and must be
+  /// cheap and non-reentrant (a pipe write, not a poll()).
+  void set_work_signal(std::function<void()> fn);
+
   ServerStats stats() const;
 
  private:
   std::shared_ptr<Session> find_and_touch(SessionId id);
   std::shared_ptr<Session> find(SessionId id) const;
-  /// Evict the least-recently-touched idle session.  Caller holds mu_.
-  bool evict_one_locked();
+  SessionId admit(const SessionSpec& spec, TimeNs initial_run,
+                  std::string* error);
+  /// Remove the costliest idle session (ties: least-recently-touched)
+  /// from the resident map and tombstone it; nullptr when nothing is
+  /// evictable.  Caller holds mu_ and must close() the returned session
+  /// AFTER releasing it (teardown fires idle callbacks that may re-enter
+  /// the server).
+  std::shared_ptr<Session> evict_one_locked();
   void remember_locked(const SessionStatus& st);
 
   ServerConfig cfg_;
@@ -107,8 +154,10 @@ class SessionServer {
   struct Entry {
     std::shared_ptr<Session> session;
     std::uint64_t last_touch = 0;
+    std::uint64_t cost = 0;  // admission_cost at open, fixed for life
   };
   std::map<SessionId, Entry> sessions_;
+  std::uint64_t resident_cost_ = 0;
   /// Final status of closed/evicted sessions, so a client polling a
   /// just-evicted id gets "closed, evicted" rather than "unknown".
   std::map<SessionId, SessionStatus> tombstones_;

@@ -61,28 +61,34 @@ void Session::build_locked() {
 }
 
 bool Session::service(TimeNs slice) {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (state_ == SessionState::Closed || state_ == SessionState::Failed) {
-    idle_cv_.notify_all();
-    return false;
-  }
-  if (state_ == SessionState::Pending) {
-    build_locked();
-  } else if (system_ && system_->now() < goal_locked()) {
-    state_ = SessionState::Running;
-    const TimeNs step = std::min(slice, goal_locked() - system_->now());
-    try {
-      system_->run(step);
-    } catch (const std::exception& e) {
-      error_ = e.what();
-      state_ = SessionState::Failed;
+  // Idle callbacks fire after the lock is released: they may re-enter the
+  // scheduler or write to a transport's wakeup pipe.
+  std::vector<std::function<void()>> fire;
+  bool more = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (state_ == SessionState::Pending) {
+      build_locked();
+    } else if (state_ != SessionState::Closed &&
+               state_ != SessionState::Failed && system_ &&
+               system_->now() < goal_locked()) {
+      state_ = SessionState::Running;
+      const TimeNs step = std::min(slice, goal_locked() - system_->now());
+      try {
+        system_->run(step);
+      } catch (const std::exception& e) {
+        error_ = e.what();
+        state_ = SessionState::Failed;
+      }
+    }
+    more = work_pending_locked();
+    if (!more) {
+      if (state_ == SessionState::Running) state_ = SessionState::Ready;
+      idle_cv_.notify_all();
+      fire.swap(idle_callbacks_);
     }
   }
-  const bool more = work_pending_locked();
-  if (!more) {
-    if (state_ == SessionState::Running) state_ = SessionState::Ready;
-    idle_cv_.notify_all();
-  }
+  for (auto& fn : fire) fn();
   return more;
 }
 
@@ -106,6 +112,17 @@ bool Session::has_work() const {
 void Session::wait_idle() {
   std::unique_lock<std::mutex> lk(mu_);
   idle_cv_.wait(lk, [&] { return !work_pending_locked(); });
+}
+
+void Session::notify_idle(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (work_pending_locked()) {
+      idle_callbacks_.push_back(std::move(fn));
+      return;
+    }
+  }
+  fn();  // already idle: fire on the caller's thread, outside the lock
 }
 
 std::vector<neural::SpikeRecorder::Event> Session::drain() {
@@ -133,16 +150,24 @@ SessionStatus Session::status() const {
 }
 
 bool Session::close(bool evicted) {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (state_ == SessionState::Closed) return false;
-  state_ = SessionState::Closed;
-  evicted_ = evicted;
-  // Destroy the machine before the engine lease goes back: the pool's reset
-  // drops any still-queued event closures capturing machine state.
-  system_.reset();
-  lease_.release();
-  idle_cv_.notify_all();
-  return true;
+  std::vector<std::function<void()>> fire;
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (state_ != SessionState::Closed) {
+      first = true;
+      state_ = SessionState::Closed;
+      evicted_ = evicted;
+      // Destroy the machine before the engine lease goes back: the pool's
+      // reset drops any still-queued event closures capturing machine state.
+      system_.reset();
+      lease_.release();
+      idle_cv_.notify_all();
+      fire.swap(idle_callbacks_);
+    }
+  }
+  for (auto& fn : fire) fn();
+  return first;
 }
 
 }  // namespace spinn::server

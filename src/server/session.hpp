@@ -18,6 +18,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -84,6 +85,14 @@ class Session {
   /// Block until the session has no pending work (or is closed/failed).
   void wait_idle();
 
+  /// Invoke `fn` exactly once when the session next has no pending work:
+  /// immediately (on the calling thread) if already idle, otherwise from
+  /// whichever thread drains the work (a scheduler worker, or close()).
+  /// This is the non-blocking sibling of wait_idle() — transports park a
+  /// pipelined `wait` on it instead of tying up a thread.  `fn` must not
+  /// call back into the session.
+  void notify_idle(std::function<void()> fn);
+
   /// Spikes recorded since the previous drain, in recording order.  Empty
   /// after teardown.
   std::vector<neural::SpikeRecorder::Event> drain();
@@ -126,6 +135,8 @@ class Session {
   map::LoadReport load_report_;
   std::size_t drained_total_ = 0;
   std::string error_;
+  /// One-shot callbacks waiting for the next idle instant (see notify_idle).
+  std::vector<std::function<void()>> idle_callbacks_;
 };
 
 }  // namespace spinn::server

@@ -1,8 +1,11 @@
 #include "server/spec.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cstdlib>
+#include <limits>
 
 namespace spinn::server {
 
@@ -121,6 +124,24 @@ bool validate(const SessionSpec& spec, std::string* error) {
   return true;
 }
 
+std::uint64_t admission_cost(const SessionSpec& spec, TimeNs initial_run) {
+  const TimeNs bio = std::max(spec.bio_hint, initial_run);
+  if (bio <= 0) return 0;
+  const std::uint64_t bio_ms =
+      (static_cast<std::uint64_t>(bio) + kMillisecond - 1) / kMillisecond;
+  const std::uint64_t footprint = static_cast<std::uint64_t>(spec.width) *
+                                  spec.height * spec.cores_per_chip *
+                                  spec.neurons_per_core;
+  // Saturate: a 65536-chip × 2^20-neuron spec declaring 1e9 ms is ~2^70
+  // cost units.  Wrapping would slip a budget-dwarfing session past
+  // admission; saturation makes it exceed any finite budget instead.
+  if (footprint != 0 &&
+      bio_ms > std::numeric_limits<std::uint64_t>::max() / footprint) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return footprint * bio_ms;
+}
+
 SystemConfig system_config(const SessionSpec& spec) {
   SystemConfig cfg;
   cfg.machine.width = spec.width;
@@ -154,6 +175,22 @@ std::vector<neural::SpikeRecorder::Event> run_standalone(
   return sys.spikes().events();
 }
 
+bool parse_run_ms(const std::string& text, TimeNs* duration) {
+  // Bounded parse: !(ms > 0) rejects NaN/garbage, the cap keeps the
+  // double to TimeNs conversion representable (~11.5 days of bio time).
+  // from_chars, not atof: the grammar must not bend to the host's
+  // LC_NUMERIC (an embedding application may use a comma-decimal locale).
+  constexpr double kMaxRunMs = 1e9;
+  double ms = 0.0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, ms);
+  if (ec != std::errc{} || ptr != end || !(ms > 0.0) || ms > kMaxRunMs) {
+    return false;
+  }
+  *duration = static_cast<TimeNs>(ms * kMillisecond);
+  return true;
+}
+
 bool apply_kv(SessionSpec& spec, const std::string& key,
               const std::string& value, std::string* error) {
   const auto fail = [&](const std::string& why) {
@@ -172,6 +209,7 @@ bool apply_kv(SessionSpec& spec, const std::string& key,
       {"cores", kCoresPerChip},    {"neurons_per_core", 1u << 20},
       {"shards", 4096},            {"threads", 4096},
       {"seed", ~std::uint64_t{0}}, {"link_flight_ns", kSecond},
+      {"bio_hint_ms", 1000000},  // ~17 min of biological time
   };
   std::uint64_t n = 0;
   for (const Bound& b : kBounds) {
@@ -194,6 +232,8 @@ bool apply_kv(SessionSpec& spec, const std::string& key,
     spec.seed = n;
   } else if (key == "link_flight_ns") {
     spec.link_flight_ns = static_cast<TimeNs>(n);
+  } else if (key == "bio_hint_ms") {
+    spec.bio_hint = static_cast<TimeNs>(n) * kMillisecond;
   } else if (key == "shards") {
     spec.shards = static_cast<std::uint32_t>(n);
   } else if (key == "threads") {

@@ -36,6 +36,10 @@ struct SessionSpec {
   std::string app = "noise";
   /// Run the distributed boot sequence before loading.
   bool boot = false;
+  /// How much biological time the client intends to run.  Purely an
+  /// admission-control declaration (see admission_cost); it does not
+  /// schedule anything and under-declaring is allowed.
+  TimeNs bio_hint = 0;
 
   // Engine -----------------------------------------------------------------
   sim::EngineKind engine = sim::EngineKind::Serial;
@@ -50,6 +54,14 @@ bool known_app(const std::string& name);
 /// Validate a spec (dimensions, app name).  Returns true when compilable;
 /// otherwise false with a reason in *error.
 bool validate(const SessionSpec& spec, std::string* error);
+
+/// Estimated admission cost of a session: spec footprint (chips × cores ×
+/// neurons per core) × declared biological milliseconds (the larger of
+/// spec.bio_hint and `initial_run`, rounded up to a whole millisecond).
+/// A spec with no declared bio time costs 0 — admission then degenerates
+/// to the resident-count cap.  SessionServer budgets the sum of resident
+/// costs against ServerConfig::cost_budget.
+std::uint64_t admission_cost(const SessionSpec& spec, TimeNs initial_run = 0);
 
 /// The SystemConfig a spec compiles to (shared by sessions and standalone
 /// reference runs, so both build byte-identical machines).
@@ -71,5 +83,11 @@ std::vector<neural::SpikeRecorder::Event> run_standalone(
 /// keys or malformed values.
 bool apply_kv(SessionSpec& spec, const std::string& key,
               const std::string& value, std::string* error);
+
+/// Parse a protocol run duration: a decimal number of biological
+/// milliseconds in (0, 1e9], locale-independent.  False for NaN, garbage,
+/// non-positive or out-of-range input — the one grammar both the stdio
+/// repl and the socket transport accept.
+bool parse_run_ms(const std::string& text, TimeNs* duration);
 
 }  // namespace spinn::server

@@ -1,0 +1,505 @@
+// The socket-transport suite (ISSUE 4).
+//
+// The contract extends the server suite's determinism bar across the wire:
+// a spike stream drained over the loopback socket transport must be
+// bit-identical to the same spec run standalone — at pipeline depth 1 and
+// depth >= 4, with >= 8 concurrent connections, through batch frames and
+// through incremental mid-run drains.  On top of that the transport's own
+// mechanics are pinned: length-prefixed framing survives arbitrary
+// segmentation, batches answer as one frame with `$` binding, parked waits
+// don't stall other connections, slow readers and floods are shed, and the
+// cost-aware admission policy is reachable from the wire.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/frame.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "session_test_util.hpp"
+
+namespace spinn::net {
+namespace {
+
+using test::Events;
+using test::same_events;
+using test::spec_with;
+
+/// The `open` command line for a spec (inverse of apply_kv for the fields
+/// these tests vary).
+std::string open_line(const server::SessionSpec& spec) {
+  std::string line = "open app=" + spec.app +
+                     " seed=" + std::to_string(spec.seed);
+  if (spec.engine == sim::EngineKind::Sharded) {
+    line += " engine=sharded shards=" + std::to_string(spec.shards) +
+            " threads=" + std::to_string(spec.threads);
+  }
+  return line;
+}
+
+// ---- framing ---------------------------------------------------------------
+
+TEST(Framing, RoundTripsThroughArbitrarySegmentation) {
+  std::string wire;
+  append_frame(wire, "hello");
+  append_frame(wire, "");  // empty payload is a legal frame
+  std::string big(100000, 'x');
+  append_frame(wire, big);
+
+  FrameDecoder dec(1u << 20);
+  // Byte-at-a-time feed: no frame may depend on segment boundaries.
+  std::vector<std::string> out;
+  std::string payload;
+  for (const char c : wire) {
+    dec.feed(&c, 1);
+    while (dec.next(&payload)) out.push_back(payload);
+  }
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "hello");
+  EXPECT_EQ(out[1], "");
+  EXPECT_EQ(out[2], big);
+  EXPECT_EQ(dec.buffered(), 0u);
+  EXPECT_FALSE(dec.overflowed());
+}
+
+TEST(Framing, OversizedFramePoisonsTheDecoder) {
+  std::string wire;
+  append_frame(wire, std::string(2048, 'y'));
+  FrameDecoder dec(1024);
+  dec.feed(wire.data(), wire.size());
+  std::string payload;
+  EXPECT_FALSE(dec.next(&payload));
+  EXPECT_TRUE(dec.overflowed());
+  // Poisoned for good: even a following valid frame stays unread.
+  std::string more;
+  append_frame(more, "ok");
+  dec.feed(more.data(), more.size());
+  EXPECT_FALSE(dec.next(&payload));
+}
+
+TEST(Framing, SpikeBlocksRoundTrip) {
+  Events events = {{1234567, 42}, {2 * kMillisecond, 0x800}, {0, 0}};
+  Events parsed;
+  ASSERT_TRUE(parse_spikes(format_spikes(events), &parsed));
+  EXPECT_TRUE(same_events(events, parsed));
+  ASSERT_TRUE(parse_spikes(format_spikes({}), &parsed));
+  EXPECT_TRUE(parsed.empty());
+  EXPECT_FALSE(parse_spikes("spikes 2\ns 1 2", &parsed));  // truncated
+  EXPECT_FALSE(parse_spikes("ok", &parsed));
+}
+
+// ---- single-command round-trips --------------------------------------------
+
+TEST(NetServer, LifecycleOverTheSocket) {
+  NetServer srv;
+  Client client(srv.port());
+
+  EXPECT_EQ(client.request("ping"), "ok");
+  EXPECT_EQ(client.request("apps"), "apps chain noise stdp");
+
+  server::SessionId id = server::kInvalidSession;
+  ASSERT_TRUE(parse_open_id(client.request("open app=chain seed=7"), &id));
+  ASSERT_NE(id, server::kInvalidSession);
+  const std::string sid = std::to_string(id);
+
+  EXPECT_EQ(client.request("run " + sid + " 20"), "ok");
+  EXPECT_EQ(client.request("wait " + sid),
+            "ok t=" + std::to_string(20 * kMillisecond));
+
+  Events events;
+  ASSERT_TRUE(parse_spikes(client.request("drain " + sid), &events));
+  const Events reference = server::run_standalone(
+      spec_with("chain", 7, sim::EngineKind::Serial), 20 * kMillisecond);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_TRUE(same_events(events, reference));
+
+  const std::string status = client.request("status " + sid);
+  EXPECT_NE(status.find("state=ready"), std::string::npos);
+  EXPECT_NE(status.find("load_ok=1"), std::string::npos);
+
+  EXPECT_EQ(client.request("close " + sid), "ok");
+  EXPECT_EQ(client.request("close " + sid),
+            "err unknown or already closed");
+  EXPECT_EQ(client.request("bogus 1"), "err unknown command 'bogus'");
+  EXPECT_EQ(client.request("wait 999"), "err unknown session");
+  EXPECT_EQ(client.request(""), "err empty request");
+}
+
+// ---- batches ---------------------------------------------------------------
+
+TEST(NetServer, BatchRunsAWholeLifecycleInOneRoundTrip) {
+  NetServer srv;
+  Client client(srv.port());
+
+  const server::SessionSpec spec =
+      spec_with("noise", 42, sim::EngineKind::Sharded, 2, 2);
+  const std::string payload = client.batch({
+      open_line(spec),
+      "run $ 15",
+      "wait $",
+      "drain $",
+      "close $",
+  });
+  const auto blocks = Client::split_response(payload);
+  ASSERT_EQ(blocks.size(), 5u);
+  server::SessionId id = server::kInvalidSession;
+  EXPECT_TRUE(parse_open_id(blocks[0], &id));
+  EXPECT_EQ(blocks[1], "ok");  // the fused open_and_run's run response
+  EXPECT_EQ(blocks[2], "ok t=" + std::to_string(15 * kMillisecond));
+  Events events;
+  ASSERT_TRUE(parse_spikes(blocks[3], &events));
+  EXPECT_EQ(blocks[4], "ok");
+
+  const Events reference = server::run_standalone(spec, 15 * kMillisecond);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_TRUE(same_events(events, reference));
+
+  EXPECT_GE(srv.stats().batches, 1u);
+}
+
+TEST(NetServer, BatchDollarWithoutOpenFailsCleanly) {
+  NetServer srv;
+  Client client(srv.port());
+  const auto blocks = Client::split_response(client.batch({
+      "open app=bogus",  // fails: $ never binds
+      "run $ 5",
+      "close $",
+  }));
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0], "err unknown app 'bogus'");
+  EXPECT_EQ(blocks[1], "err no successful open in this batch");
+  EXPECT_EQ(blocks[2], "err no successful open in this batch");
+}
+
+// A failed open UNBINDS `$`: commands after it must not silently fall
+// through to an earlier session opened in the same batch.
+TEST(NetServer, FailedOpenUnbindsDollar) {
+  NetServer srv;
+  Client client(srv.port());
+  const auto blocks = Client::split_response(client.batch({
+      "open app=chain seed=1",  // succeeds: $ = this id
+      "open app=bogus",         // fails: $ unbinds
+      "close $",                // must NOT close the first session
+  }));
+  ASSERT_EQ(blocks.size(), 3u);
+  server::SessionId id = server::kInvalidSession;
+  ASSERT_TRUE(parse_open_id(blocks[0], &id));
+  EXPECT_EQ(blocks[1], "err unknown app 'bogus'");
+  EXPECT_EQ(blocks[2], "err no successful open in this batch");
+  // The first session is alive and well.
+  const std::string status = client.request("status " + std::to_string(id));
+  EXPECT_EQ(status.rfind("id=", 0), 0u) << status;
+  EXPECT_EQ(status.find("state=closed"), std::string::npos) << status;
+  EXPECT_EQ(client.request("close " + std::to_string(id)), "ok");
+}
+
+// ---- the determinism contract over the wire --------------------------------
+
+struct WireSession {
+  server::SessionSpec spec;
+  TimeNs run = 0;
+};
+
+/// Drive one session over its own connection at the given pipeline depth
+/// and return the concatenated drained stream.
+Events drive_over_socket(std::uint16_t port, const WireSession& ws,
+                         int depth) {
+  Client client(port);
+  const std::string run_ms =
+      std::to_string(static_cast<double>(ws.run) / kMillisecond);
+  Events stream;
+  Events chunk;
+  if (depth <= 1) {
+    server::SessionId id = server::kInvalidSession;
+    EXPECT_TRUE(parse_open_id(client.request(open_line(ws.spec)), &id));
+    EXPECT_EQ(client.request("run " + std::to_string(id) + " " + run_ms),
+              "ok");
+    // Stream incrementally while the session runs (mid-run drains).
+    for (;;) {
+      const std::string st =
+          client.request("status " + std::to_string(id));
+      EXPECT_TRUE(parse_spikes(
+          client.request("drain " + std::to_string(id)), &chunk));
+      stream.insert(stream.end(), chunk.begin(), chunk.end());
+      // " t=" with the leading space: "target=..." must not match.
+      if (st.find("state=ready") != std::string::npos &&
+          st.find(" t=" + std::to_string(ws.run) + " ") !=
+              std::string::npos) {
+        break;
+      }
+    }
+    EXPECT_EQ(client.request("close " + std::to_string(id)), "ok");
+    return stream;
+  }
+  // Pipelined: `depth` frames in flight before the first response is read.
+  // The batch opens-and-runs, the trailing frames wait/drain/close via `$`
+  // — no, `$` binds per frame; later frames address the id parsed from the
+  // first response.  So pipeline the id-free prefix, then the rest.
+  EXPECT_TRUE(client.send(open_line(ws.spec) + "\nrun $ " + run_ms +
+                          "\nwait $\ndrain $"));
+  EXPECT_TRUE(client.send("ping"));
+  EXPECT_TRUE(client.send("ping"));
+  EXPECT_TRUE(client.send("apps"));
+  const auto blocks = Client::split_response(client.receive());
+  EXPECT_EQ(blocks.size(), 4u);
+  server::SessionId id = server::kInvalidSession;
+  EXPECT_TRUE(parse_open_id(blocks[0], &id));
+  EXPECT_TRUE(parse_spikes(blocks[3], &chunk));
+  stream.insert(stream.end(), chunk.begin(), chunk.end());
+  EXPECT_EQ(client.receive(), "ok");
+  EXPECT_EQ(client.receive(), "ok");
+  EXPECT_EQ(client.receive(), "apps chain noise stdp");
+  // A second pipelined wave: drain the (idle) tail and close.
+  EXPECT_TRUE(client.send("drain " + std::to_string(id)));
+  EXPECT_TRUE(client.send("close " + std::to_string(id)));
+  EXPECT_TRUE(client.send("ping"));
+  EXPECT_TRUE(parse_spikes(client.receive(), &chunk));
+  stream.insert(stream.end(), chunk.begin(), chunk.end());
+  EXPECT_EQ(client.receive(), "ok");
+  EXPECT_EQ(client.receive(), "ok");
+  return stream;
+}
+
+/// The acceptance bar: >= 8 concurrent connections, mixed serial/sharded
+/// engines, every stream bit-identical to the spec run standalone.
+void run_concurrent_equivalence(int depth) {
+  NetConfig cfg;
+  cfg.session.workers = 4;
+  cfg.session.max_sessions = 8;
+  NetServer srv(cfg);
+
+  const std::vector<WireSession> sessions = {
+      {spec_with("noise", 1, sim::EngineKind::Serial), 25 * kMillisecond},
+      {spec_with("noise", 1, sim::EngineKind::Sharded, 4, 2),
+       25 * kMillisecond},
+      {spec_with("noise", 42, sim::EngineKind::Sharded, 2, 2),
+       25 * kMillisecond},
+      {spec_with("chain", 7, sim::EngineKind::Serial), 25 * kMillisecond},
+      {spec_with("chain", 7, sim::EngineKind::Sharded, 8, 2),
+       25 * kMillisecond},
+      {spec_with("stdp", 9, sim::EngineKind::Serial), 25 * kMillisecond},
+      {spec_with("stdp", 9, sim::EngineKind::Sharded, 4, 2),
+       25 * kMillisecond},
+      {spec_with("noise", 20260726, sim::EngineKind::Serial),
+       25 * kMillisecond},
+  };
+
+  std::vector<Events> streams(sessions.size());
+  std::vector<std::thread> clients;
+  clients.reserve(sessions.size());
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    clients.emplace_back([&, i] {
+      streams[i] = drive_over_socket(srv.port(), sessions[i], depth);
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    SCOPED_TRACE("connection " + std::to_string(i) +
+                 " app=" + sessions[i].spec.app);
+    const Events reference =
+        server::run_standalone(sessions[i].spec, sessions[i].run);
+    ASSERT_FALSE(reference.empty());
+    EXPECT_TRUE(same_events(streams[i], reference))
+        << "stream size " << streams[i].size() << " vs reference "
+        << reference.size();
+  }
+  const NetStats st = srv.stats();
+  EXPECT_EQ(st.accepted, sessions.size());
+  EXPECT_EQ(st.shed_slow, 0u);
+  EXPECT_EQ(st.shed_flood, 0u);
+}
+
+TEST(NetServer, EightConnectionsBitIdenticalAtDepth1) {
+  run_concurrent_equivalence(1);
+}
+
+TEST(NetServer, EightConnectionsBitIdenticalAtDepth4) {
+  run_concurrent_equivalence(4);
+}
+
+// A parked wait on one connection must not stall another connection's
+// lifecycle (the test hangs, and the ctest hard timeout fails it, if the
+// reactor blocks).
+TEST(NetServer, ParkedWaitDoesNotBlockOtherConnections) {
+  NetConfig cfg;
+  cfg.session.workers = 1;
+  NetServer srv(cfg);
+
+  Client slow(srv.port());
+  server::SessionId slow_id = server::kInvalidSession;
+  ASSERT_TRUE(parse_open_id(
+      slow.request("open app=noise seed=5"), &slow_id));
+  ASSERT_EQ(slow.request("run " + std::to_string(slow_id) + " 150"), "ok");
+  ASSERT_TRUE(slow.send("wait " + std::to_string(slow_id)));
+  ASSERT_TRUE(slow.flush());  // on the server now: parks the connection
+
+  // A full lifecycle on a second connection completes while the first
+  // connection's wait is parked.
+  Client quick(srv.port());
+  const auto blocks = Client::split_response(quick.batch(
+      {"open app=chain seed=3", "run $ 5", "wait $", "drain $", "close $"}));
+  ASSERT_EQ(blocks.size(), 5u);
+  EXPECT_EQ(blocks[4], "ok");
+
+  // The parked wait resolves once the long session finishes.
+  EXPECT_EQ(slow.receive(), "ok t=" + std::to_string(150 * kMillisecond));
+  EXPECT_EQ(slow.request("close " + std::to_string(slow_id)), "ok");
+}
+
+// ---- backpressure ----------------------------------------------------------
+
+TEST(NetServer, SlowReaderIsShedNotBuffered) {
+  NetConfig cfg;
+  cfg.max_write_buffer = 512;  // a full drained stream cannot fit
+  cfg.session.workers = 1;
+  NetServer srv(cfg);
+
+  Client client(srv.port());
+  const auto blocks = Client::split_response(client.batch(
+      {"open app=noise seed=11", "run $ 30", "wait $", "drain $"}));
+  // The drain response overflows the write budget: the connection is shed
+  // (receive fails) instead of the server buffering without bound.
+  EXPECT_TRUE(blocks.empty());
+  EXPECT_FALSE(client.connected());
+  EXPECT_EQ(srv.stats().shed_slow, 1u);
+
+  // The server survives and keeps serving new connections.
+  Client next(srv.port());
+  EXPECT_EQ(next.request("ping"), "ok");
+  // The shed client's session is still resident server-side; the embedded
+  // API can still reach it (transport loss != session loss).
+  EXPECT_EQ(srv.sessions().stats().opened, 1u);
+}
+
+TEST(NetServer, PipelineFloodIsShed) {
+  NetConfig cfg;
+  cfg.max_pipeline = 8;
+  NetServer srv(cfg);
+  // Blast 64 frames in a single write: they arrive as one readable burst,
+  // the reactor decodes past the pipeline cap and sheds the connection
+  // rather than buffering the flood.
+  std::string error;
+  Fd raw = connect_loopback(srv.port(), &error);
+  ASSERT_TRUE(raw) << error;
+  std::string wire;
+  for (int i = 0; i < 64; ++i) append_frame(wire, "ping");
+  ASSERT_TRUE(send_all(raw.get(), wire.data(), wire.size()));
+  // The server closes on us: the read drains any early responses, then EOF.
+  char buf[4096];
+  while (recv_exact(raw.get(), buf, 1)) {
+  }
+  EXPECT_EQ(srv.stats().shed_flood, 1u);
+  Client next(srv.port());
+  EXPECT_EQ(next.request("ping"), "ok");
+}
+
+// ---- cost-aware admission over the wire ------------------------------------
+
+TEST(NetServer, CostBudgetIsEnforcedFromTheSocket) {
+  NetConfig cfg;
+  // 0 workers: sessions stay Pending (busy), so the over-budget open can
+  // never free the budget by evicting — deterministic rejection.
+  cfg.session.workers = 0;
+  // Budget fits exactly one default-spec session declaring 10 ms.
+  cfg.session.cost_budget = server::admission_cost(
+      [] {
+        server::SessionSpec s;
+        s.bio_hint = 10 * kMillisecond;
+        return s;
+      }());
+  NetServer srv(cfg);
+  Client client(srv.port());
+
+  // Cost exactly at budget: admitted.
+  server::SessionId id = server::kInvalidSession;
+  ASSERT_TRUE(parse_open_id(
+      client.request("open app=noise seed=1 bio_hint_ms=10"), &id));
+  // Over budget while the first session is busy building/running: rejected.
+  ASSERT_EQ(client.request("run " + std::to_string(id) + " 10"), "ok");
+  const std::string rejected =
+      client.request("open app=noise seed=2 bio_hint_ms=10");
+  EXPECT_EQ(rejected.rfind("err ", 0), 0u) << rejected;
+  // Zero-cost opens still pass (count cap permitting).
+  server::SessionId free_id = server::kInvalidSession;
+  EXPECT_TRUE(
+      parse_open_id(client.request("open app=chain seed=3"), &free_id));
+
+  const std::string stats = client.request("stats");
+  EXPECT_NE(stats.find("rejected_cost=1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("cost=" + std::to_string(cfg.session.cost_budget) +
+                       "/" + std::to_string(cfg.session.cost_budget)),
+            std::string::npos)
+      << stats;
+}
+
+// Single-threaded serving: with reactor_drives the reactor itself runs the
+// scheduler (0 workers), so the whole server is one thread — and the
+// determinism contract must hold exactly as it does with a worker pool.
+TEST(NetServer, ReactorDrivenServingIsBitIdentical) {
+  NetConfig cfg;
+  cfg.session.workers = 0;
+  cfg.reactor_drives = true;
+  NetServer srv(cfg);
+
+  // Pipelined batches from two connections, mixed engines.
+  const std::vector<WireSession> sessions = {
+      {spec_with("noise", 31, sim::EngineKind::Serial), 20 * kMillisecond},
+      {spec_with("chain", 32, sim::EngineKind::Sharded, 2, 2),
+       20 * kMillisecond},
+  };
+  std::vector<Events> streams(sessions.size());
+  std::vector<std::thread> clients;
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    clients.emplace_back([&, i] {
+      streams[i] = drive_over_socket(srv.port(), sessions[i], 4);
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    SCOPED_TRACE("connection " + std::to_string(i));
+    const Events reference =
+        server::run_standalone(sessions[i].spec, sessions[i].run);
+    ASSERT_FALSE(reference.empty());
+    EXPECT_TRUE(same_events(streams[i], reference));
+  }
+
+  // The embedded API on a reactor-driven server works too: the work
+  // signal wakes the reactor for sessions submitted off-wire.
+  {
+    server::SessionSpec spec = spec_with("stdp", 33, sim::EngineKind::Serial);
+    std::string error;
+    const server::SessionId id = srv.sessions().open(spec, &error);
+    ASSERT_NE(id, server::kInvalidSession) << error;
+    ASSERT_TRUE(srv.sessions().run(id, 10 * kMillisecond));
+    ASSERT_TRUE(srv.sessions().wait(id));
+    const Events via_api = srv.sessions().drain(id);
+    const Events reference =
+        server::run_standalone(spec, 10 * kMillisecond);
+    EXPECT_TRUE(same_events(via_api, reference));
+    EXPECT_TRUE(srv.sessions().close(id));
+  }
+}
+
+// The transport and the embedded API are the same server: a session opened
+// over the wire is visible (and bit-identical) through SessionServer.
+TEST(NetServer, WireAndEmbeddedApiShareTheServer) {
+  NetServer srv;
+  Client client(srv.port());
+  server::SessionId id = server::kInvalidSession;
+  ASSERT_TRUE(parse_open_id(client.request("open app=chain seed=9"), &id));
+  ASSERT_EQ(client.request("run " + std::to_string(id) + " 10"), "ok");
+  ASSERT_TRUE(srv.sessions().wait(id));  // embedded wait on a wire session
+  const Events via_api = srv.sessions().drain(id);
+  const Events reference = server::run_standalone(
+      spec_with("chain", 9, sim::EngineKind::Serial), 10 * kMillisecond);
+  EXPECT_TRUE(same_events(via_api, reference));
+  EXPECT_EQ(client.request("close " + std::to_string(id)), "ok");
+}
+
+}  // namespace
+}  // namespace spinn::net

@@ -8,42 +8,24 @@
 // clean (the whole suite runs under ASan and TSan in CI).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "server/server.hpp"
+#include "session_test_util.hpp"
 
 namespace spinn::server {
 namespace {
 
-using Events = std::vector<neural::SpikeRecorder::Event>;
-
-bool same_events(const Events& a, const Events& b) {
-  if (a.size() != b.size()) return false;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (a[i].time != b[i].time || a[i].key != b[i].key) return false;
-  }
-  return true;
-}
-
-void append(Events& dst, const Events& src) {
-  dst.insert(dst.end(), src.begin(), src.end());
-}
-
-SessionSpec spec_with(const std::string& app, std::uint64_t seed,
-                      sim::EngineKind engine, std::uint32_t shards = 0,
-                      std::uint32_t threads = 0) {
-  SessionSpec spec;
-  spec.app = app;
-  spec.seed = seed;
-  spec.engine = engine;
-  spec.shards = shards;
-  spec.threads = threads;
-  return spec;
-}
+using test::Events;
+using test::append;
+using test::same_events;
+using test::spec_with;
 
 // ---- lifecycle basics ------------------------------------------------------
 
@@ -344,6 +326,316 @@ TEST(SessionServer, ShutdownWithLiveSessionsIsClean) {
     ASSERT_TRUE(server.run(id, 200 * kMillisecond));  // won't finish
   }
   // Destructor runs here with sessions still owing bio time.
+}
+
+// ---- cost-aware admission --------------------------------------------------
+
+// The admission cost model itself: footprint × declared bio ms, 0 when no
+// bio time is declared.
+TEST(CostAdmission, CostIsFootprintTimesDeclaredBioTime) {
+  SessionSpec spec;  // 2x2 chips × 6 cores × 64 neurons = 1536 units
+  EXPECT_EQ(admission_cost(spec), 0u);  // zero-cost: nothing declared
+  spec.bio_hint = 10 * kMillisecond;
+  EXPECT_EQ(admission_cost(spec), 1536u * 10u);
+  // initial_run dominates when larger; partial ms round up.
+  EXPECT_EQ(admission_cost(spec, 20 * kMillisecond), 1536u * 20u);
+  EXPECT_EQ(admission_cost(spec, 20 * kMillisecond + 1), 1536u * 21u);
+  spec.bio_hint = 0;
+  EXPECT_EQ(admission_cost(spec, 5 * kMillisecond), 1536u * 5u);
+}
+
+// footprint × bio_ms can exceed 2^64 for valid specs; the cost must
+// saturate (and so exceed any finite budget), never wrap small.
+TEST(CostAdmission, CostSaturatesInsteadOfWrapping) {
+  SessionSpec spec;
+  spec.width = 256;
+  spec.height = 256;
+  spec.cores_per_chip = 20;
+  spec.neurons_per_core = 1u << 20;  // footprint ≈ 1.37e12
+  const TimeNs run = 1'000'000'000 * kMillisecond;  // the protocol cap
+  EXPECT_EQ(admission_cost(spec, run),
+            std::numeric_limits<std::uint64_t>::max());
+
+  ServerConfig cfg;
+  cfg.workers = 0;
+  cfg.cost_budget = 1u << 30;  // generous, but finite
+  SessionServer server(cfg);
+  std::string error;
+  EXPECT_EQ(server.open_and_run(spec, run, &error), kInvalidSession);
+  EXPECT_NE(error.find("exceeds the whole budget"), std::string::npos);
+}
+
+TEST(CostAdmission, ZeroCostSpecsAdmitUnderAnyBudget) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.cost_budget = 1;  // essentially nothing
+  SessionServer server(cfg);
+  const SessionId id = server.open(spec_with("chain", 1, sim::EngineKind::Serial));
+  ASSERT_NE(id, kInvalidSession);
+  EXPECT_TRUE(server.run(id, 5 * kMillisecond));
+  EXPECT_TRUE(server.wait(id));
+  EXPECT_EQ(server.stats().cost_resident, 0u);
+  EXPECT_EQ(server.stats().cost_budget, 1u);
+}
+
+TEST(CostAdmission, CostExactlyAtBudgetIsAdmitted) {
+  SessionSpec spec = spec_with("chain", 2, sim::EngineKind::Serial);
+  spec.bio_hint = 10 * kMillisecond;
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.cost_budget = admission_cost(spec);  // exact fit
+  SessionServer server(cfg);
+  std::string error;
+  const SessionId id = server.open(spec, &error);
+  ASSERT_NE(id, kInvalidSession) << error;
+  EXPECT_EQ(server.stats().cost_resident, cfg.cost_budget);
+  // One more unit over the line is rejected outright (it alone exceeds
+  // the whole budget, so no eviction can help).
+  SessionSpec over = spec;
+  over.seed = 3;
+  over.bio_hint = 11 * kMillisecond;
+  EXPECT_EQ(server.open(over, &error), kInvalidSession);
+  EXPECT_NE(error.find("exceeds the whole budget"), std::string::npos);
+  EXPECT_EQ(server.stats().rejected_cost, 1u);
+}
+
+// Over-budget opens evict idle sessions to make room; the costliest idle
+// session goes first (fewest teardowns free the most budget).
+TEST(CostAdmission, EvictsCostliestIdleFirstToFreeBudget) {
+  SessionSpec small = spec_with("chain", 1, sim::EngineKind::Serial);
+  small.bio_hint = 2 * kMillisecond;
+  SessionSpec big = spec_with("chain", 2, sim::EngineKind::Serial);
+  big.bio_hint = 8 * kMillisecond;
+
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.cost_budget = admission_cost(small) + admission_cost(big);
+  SessionServer server(cfg);
+
+  const SessionId small_id = server.open(small);
+  const SessionId big_id = server.open(big);
+  ASSERT_NE(small_id, kInvalidSession);
+  ASSERT_NE(big_id, kInvalidSession);
+  ASSERT_TRUE(server.wait(small_id));
+  ASSERT_TRUE(server.wait(big_id));
+  // `big` was touched more recently than `small`, yet cost outranks
+  // recency: the 8 ms session is the victim.
+  ASSERT_TRUE(server.run(big_id, 0));
+
+  SessionSpec incoming = spec_with("chain", 3, sim::EngineKind::Serial);
+  incoming.bio_hint = 5 * kMillisecond;
+  const SessionId in_id = server.open(incoming);
+  ASSERT_NE(in_id, kInvalidSession);
+  EXPECT_TRUE(server.status(big_id).evicted);
+  EXPECT_FALSE(server.status(small_id).evicted);
+  EXPECT_EQ(server.stats().cost_resident,
+            admission_cost(small) + admission_cost(incoming));
+}
+
+// A rejected open must not cost resident sessions their state: when even
+// evicting every idle session couldn't fit the newcomer, nothing is
+// evicted at all.
+TEST(CostAdmission, InfeasibleOpenEvictsNothing) {
+  SessionSpec idle_spec = spec_with("chain", 1, sim::EngineKind::Serial);
+  idle_spec.bio_hint = 2 * kMillisecond;
+
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.cost_budget = 10 * admission_cost(idle_spec);
+  SessionServer server(cfg);
+
+  // Two idle sessions and one busy one holding most of the budget.
+  const SessionId a = server.open(idle_spec);
+  SessionSpec b_spec = idle_spec;
+  b_spec.seed = 2;
+  const SessionId b = server.open(b_spec);
+  ASSERT_NE(a, kInvalidSession);
+  ASSERT_NE(b, kInvalidSession);
+  ASSERT_TRUE(server.wait(a));
+  ASSERT_TRUE(server.wait(b));
+
+  // The newcomer needs more than the whole budget minus the busy share —
+  // infeasible even after evicting both idle sessions.
+  SessionSpec huge = spec_with("chain", 3, sim::EngineKind::Serial);
+  huge.bio_hint = 19 * kMillisecond;  // cost 9.5× budget-unit > 10 - busy
+  SessionSpec busy_spec = spec_with("noise", 4, sim::EngineKind::Serial);
+  busy_spec.bio_hint = 16 * kMillisecond;  // 8 units: leaves 2 spare
+  const SessionId busy = server.open(busy_spec);
+  ASSERT_NE(busy, kInvalidSession);
+  ASSERT_TRUE(server.run(busy, 100 * kMillisecond));  // keep it busy
+
+  std::string error;
+  EXPECT_EQ(server.open(huge, &error), kInvalidSession);
+  EXPECT_NE(error.find("cost budget exhausted"), std::string::npos);
+  // Both idle sessions survived the rejected open.
+  EXPECT_EQ(server.status(a).state, SessionState::Ready);
+  EXPECT_EQ(server.status(b).state, SessionState::Ready);
+  EXPECT_EQ(server.stats().evicted, 0u);
+  server.wait(busy);
+}
+
+// Equal costs fall back to the PR 3 policy: least-recently-used idles out.
+TEST(CostAdmission, EqualCostsEvictLeastRecentlyUsed) {
+  SessionSpec spec = spec_with("chain", 1, sim::EngineKind::Serial);
+  spec.bio_hint = 4 * kMillisecond;
+
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.cost_budget = 2 * admission_cost(spec);
+  SessionServer server(cfg);
+
+  SessionSpec a = spec, b = spec;
+  b.seed = 2;
+  const SessionId a_id = server.open(a);
+  const SessionId b_id = server.open(b);
+  ASSERT_NE(a_id, kInvalidSession);
+  ASSERT_NE(b_id, kInvalidSession);
+  ASSERT_TRUE(server.wait(a_id));
+  ASSERT_TRUE(server.wait(b_id));
+  ASSERT_TRUE(server.run(a_id, 0));  // touch a: b becomes the LRU victim
+
+  SessionSpec c = spec;
+  c.seed = 3;
+  const SessionId c_id = server.open(c);
+  ASSERT_NE(c_id, kInvalidSession);
+  EXPECT_TRUE(server.status(b_id).evicted);
+  EXPECT_EQ(server.status(a_id).state, SessionState::Ready);
+}
+
+// open_and_run: admission + build + first run in one scheduler submission,
+// observably identical to open() followed by run().
+TEST(CostAdmission, OpenAndRunMatchesOpenThenRun) {
+  const SessionSpec spec = spec_with("noise", 77, sim::EngineKind::Serial);
+  SessionServer server;
+  const SessionId id = server.open_and_run(spec, 15 * kMillisecond);
+  ASSERT_NE(id, kInvalidSession);
+  ASSERT_TRUE(server.wait(id));
+  const Events reference = run_standalone(spec, 15 * kMillisecond);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_TRUE(same_events(server.drain(id), reference));
+  EXPECT_EQ(server.status(id).bio_target, 15 * kMillisecond);
+}
+
+// notify_idle: the non-blocking wait used by the socket transport.
+TEST(CostAdmission, NotifyIdleFiresOnceWorkDrains) {
+  ServerConfig cfg;
+  cfg.workers = 0;  // drive manually so the firing point is deterministic
+  SessionServer server(cfg);
+  const SessionId id = server.open(spec_with("chain", 5, sim::EngineKind::Serial));
+  ASSERT_NE(id, kInvalidSession);
+  ASSERT_TRUE(server.run(id, 3 * kMillisecond));
+
+  std::atomic<int> fired{0};
+  ASSERT_TRUE(server.notify_idle(id, [&] { ++fired; }));
+  EXPECT_EQ(fired.load(), 0);  // busy: parked
+  while (server.poll()) {
+  }
+  EXPECT_EQ(fired.load(), 1);  // fired exactly once, from the last slice
+
+  // Already idle: fires inline on the caller's thread.
+  ASSERT_TRUE(server.notify_idle(id, [&] { ++fired; }));
+  EXPECT_EQ(fired.load(), 2);
+  // Unknown ids refuse without invoking.
+  EXPECT_FALSE(server.notify_idle(9999, [&] { ++fired; }));
+  EXPECT_EQ(fired.load(), 2);
+}
+
+// ---- engine-pool stress (concurrent churn) ---------------------------------
+
+// Raw pool churn: many threads acquiring/releasing mixed engine shapes
+// concurrently.  The pool's books must balance and never exceed max_idle.
+TEST(EnginePoolStress, ConcurrentAcquireReleaseChurn) {
+  EnginePoolConfig pool_cfg;
+  pool_cfg.max_idle = 4;
+  EnginePool pool(pool_cfg);
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 40;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        sim::EngineConfig cfg;
+        if (t % 2 == 0) {
+          cfg.kind = sim::EngineKind::Sharded;
+          cfg.shards = 2;
+          cfg.threads = 1;
+        }
+        auto lease = pool.acquire(cfg);
+        ASSERT_TRUE(static_cast<bool>(lease));
+        // Touch the engine so a broken lease crashes here, not later.
+        lease.get()->reset(static_cast<std::uint64_t>(t * 1000 + i));
+        lease.release();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const EnginePool::Stats st = pool.stats();
+  EXPECT_EQ(st.created + st.reused,
+            static_cast<std::uint64_t>(kThreads * kIterations));
+  EXPECT_LE(st.idle, pool_cfg.max_idle);
+  EXPECT_GT(st.reused, 0u);
+}
+
+// The PR 3 suite proved reset-equals-fresh single-threaded; this closes
+// the gap under concurrency: engines churned across many threads (and
+// therefore reset and rewired many times, in racing orders) must still
+// drive spike streams bit-identical to standalone runs.
+TEST(EnginePoolStress, ChurnedEnginesStayBitIdentical) {
+  constexpr int kThreads = 4;
+  constexpr int kSessionsPerThread = 5;
+  constexpr TimeNs kRun = 8 * kMillisecond;
+
+  ServerConfig cfg;
+  cfg.workers = 4;
+  cfg.max_sessions = 16;
+  cfg.pool.max_idle = 4;
+  SessionServer server(cfg);
+
+  std::vector<std::vector<Events>> streams(
+      kThreads, std::vector<Events>(kSessionsPerThread));
+  std::vector<SessionSpec> specs;
+  for (int t = 0; t < kThreads; ++t) {
+    specs.push_back(t % 2 == 0
+                        ? spec_with("noise", 100 + static_cast<std::uint64_t>(t),
+                                    sim::EngineKind::Sharded, 2, 2)
+                        : spec_with("chain", 200 + static_cast<std::uint64_t>(t),
+                                    sim::EngineKind::Serial));
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kSessionsPerThread; ++i) {
+        const SessionId id = server.open(specs[static_cast<std::size_t>(t)]);
+        ASSERT_NE(id, kInvalidSession);
+        ASSERT_TRUE(server.run(id, kRun));
+        ASSERT_TRUE(server.wait(id));
+        streams[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] =
+            server.drain(id);
+        ASSERT_TRUE(server.close(id));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    const Events reference =
+        run_standalone(specs[static_cast<std::size_t>(t)], kRun);
+    ASSERT_FALSE(reference.empty());
+    for (int i = 0; i < kSessionsPerThread; ++i) {
+      SCOPED_TRACE("thread " + std::to_string(t) + " session " +
+                   std::to_string(i));
+      EXPECT_TRUE(same_events(
+          streams[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)],
+          reference));
+    }
+  }
+  // Churn through 20 sessions on a 4-idle pool must have recycled engines.
+  EXPECT_GT(server.stats().engines.reused, 0u);
 }
 
 // ---- the incremental drain primitive --------------------------------------

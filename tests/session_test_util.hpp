@@ -1,0 +1,44 @@
+// Shared helpers for the session-server and socket-transport suites: the
+// spike-stream equality predicate behind every determinism assertion, and
+// the SessionSpec shorthand both suites build scenarios from.  One
+// definition, so the suites can never drift into checking different
+// predicates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/server.hpp"
+
+namespace spinn::test {
+
+using Events = std::vector<neural::SpikeRecorder::Event>;
+
+inline bool same_events(const Events& a, const Events& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].time != b[i].time || a[i].key != b[i].key) return false;
+  }
+  return true;
+}
+
+inline void append(Events& dst, const Events& src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+inline server::SessionSpec spec_with(const std::string& app,
+                                     std::uint64_t seed,
+                                     sim::EngineKind engine,
+                                     std::uint32_t shards = 0,
+                                     std::uint32_t threads = 0) {
+  server::SessionSpec spec;
+  spec.app = app;
+  spec.seed = seed;
+  spec.engine = engine;
+  spec.shards = shards;
+  spec.threads = threads;
+  return spec;
+}
+
+}  // namespace spinn::test
