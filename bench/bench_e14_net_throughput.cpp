@@ -44,25 +44,67 @@ std::string session_batch(std::uint64_t seed) {
          "\nwait $\ndrain $\nclose $";
 }
 
+/// The client-described network for the wire-submitted-net column: a
+/// chain-like stimulus plus background noise into a LIF sheet — enough
+/// populations/projections that parsing and compiling are visible, small
+/// enough that a lifecycle stays milliseconds.
+const std::vector<std::string>& custom_net_lines() {
+  static const std::vector<std::string> lines = [] {
+    net::NetBuilder b;
+    b.spike_source("stim", {{1, 5}, {3}});
+    b.poisson("bg", 24, 30.0);
+    b.lif("cells", 48);
+    b.project("stim", "cells", neural::Connector::all_to_all(),
+              neural::ValueDist::fixed(15.0), neural::ValueDist::fixed(1.0));
+    b.project("bg", "cells", neural::Connector::fixed_probability(0.25),
+              neural::ValueDist::uniform(2.0, 6.0),
+              neural::ValueDist::fixed(1.0));
+    return b.lines();
+  }();
+  return lines;
+}
+
+/// A whole wire-submitted-net lifecycle in one frame: describe the net,
+/// open it (`app=@`), run, wait, drain, close — submission + compile +
+/// serving, the general-purpose analogue of session_batch().
+std::string custom_net_batch(std::uint64_t seed) {
+  std::string frame;
+  for (const std::string& line : custom_net_lines()) {
+    frame += line;
+    frame += '\n';
+  }
+  frame += "open app=@ seed=" + std::to_string(seed) + "\nrun $ " +
+           std::to_string(static_cast<double>(kBioPerSession) /
+                          kMillisecond) +
+           "\nwait $\ndrain $\nclose $";
+  return frame;
+}
+
+using BatchFn = std::string (*)(std::uint64_t);
+
 /// One connection working through `quota` session lifecycles with up to
 /// `depth` batch frames in flight.  Returns spikes drained (sanity).
 std::size_t drive_connection(net::Client& client, std::uint64_t seed_base,
-                             int quota, int depth) {
+                             int quota, int depth, BatchFn batch_fn) {
   std::size_t spikes = 0;
   int sent = 0;
   int received = 0;
   while (received < quota) {
     while (sent < quota && sent - received < depth) {
-      if (!client.send(session_batch(seed_base + static_cast<std::uint64_t>(
-                                                     sent)))) {
+      if (!client.send(
+              batch_fn(seed_base + static_cast<std::uint64_t>(sent)))) {
         return spikes;
       }
       ++sent;
     }
     const auto blocks = net::Client::split_response(client.receive());
-    if (blocks.size() == 5) {
+    // The drain block is second-to-last in both shapes (5 blocks for an
+    // app batch, 6 when a net block leads).
+    if (blocks.size() >= 2) {
       std::vector<neural::SpikeRecorder::Event> events;
-      if (net::parse_spikes(blocks[3], &events)) spikes += events.size();
+      if (net::parse_spikes(blocks[blocks.size() - 2], &events)) {
+        spikes += events.size();
+      }
     }
     ++received;
   }
@@ -96,12 +138,15 @@ class ClientPool {
   }
 
   /// Run kSessionsPerRound lifecycles over the first `connections`
-  /// clients, each pipelining `depth` batches.  Returns spikes drained.
-  std::size_t round(int connections, int depth) {
+  /// clients, each pipelining `depth` batches of `batch_fn` (default: the
+  /// built-in chain app).  Returns spikes drained.
+  std::size_t round(int connections, int depth,
+                    BatchFn batch_fn = session_batch) {
     {
       std::lock_guard<std::mutex> lk(mu_);
       quota_ = kSessionsPerRound / connections;
       depth_ = depth;
+      batch_fn_ = batch_fn;
       ++generation_;
       for (int i = 0; i < connections; ++i) {
         done_[static_cast<std::size_t>(i)] = false;
@@ -124,6 +169,7 @@ class ClientPool {
     for (;;) {
       int quota = 0;
       int depth = 0;
+      BatchFn batch_fn = session_batch;
       {
         std::unique_lock<std::mutex> lk(mu_);
         cv_.wait(lk, [&] {
@@ -134,10 +180,12 @@ class ClientPool {
         seen = generation_;
         quota = quota_;
         depth = depth_;
+        batch_fn = batch_fn_;
       }
       const std::size_t result = drive_connection(
           *clients_[static_cast<std::size_t>(index)],
-          static_cast<std::uint64_t>(1 + index * quota), quota, depth);
+          static_cast<std::uint64_t>(1 + index * quota), quota, depth,
+          batch_fn);
       {
         std::lock_guard<std::mutex> lk(mu_);
         spikes_[static_cast<std::size_t>(index)] = result;
@@ -158,9 +206,27 @@ class ClientPool {
   std::uint64_t generation_ = 0;
   int quota_ = 0;
   int depth_ = 0;
+  BatchFn batch_fn_ = session_batch;
   int active_ = 0;
   bool stop_ = false;
 };
+
+/// Submission + compile latency of a wire-described net: one batch frame
+/// carrying the net block, `open app=@` and a `wait $` that resolves once
+/// the build (parse, validate, place, route, load) finished on the server.
+double measure_submit_compile_ms(std::uint16_t port, std::uint64_t seed) {
+  using clock = std::chrono::steady_clock;
+  net::Client client(port);
+  std::vector<std::string> lines = custom_net_lines();
+  lines.push_back("open app=@ seed=" + std::to_string(seed));
+  lines.push_back("wait $");
+  lines.push_back("close $");
+  const auto t0 = clock::now();
+  const auto blocks = net::Client::split_response(client.batch(lines));
+  const double ms =
+      std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+  return blocks.size() == 4 && blocks.back() == "ok" ? ms : -1.0;
+}
 
 /// The e13 baseline: embedded API, one session at a time (the stdio-era
 /// serving model — one client, one request in flight).
@@ -286,6 +352,51 @@ int main(int argc, char** argv) {
   std::printf("\nbatched/pipelined peak vs embedded single-stream: "
               "%.2fx\n", base_rate > 0.0 ? best_rate / base_rate : 0.0);
 
+  // The wire-submitted-net column: the same lifecycles, but the client
+  // *describes* the network (net block + open app=@) instead of naming a
+  // built-in — grammar parse, validation, admission costing and compile
+  // all join the timed path.  The delta against net_c<N>d<M> is what the
+  // general-purpose front door costs.
+  pool.round(2, 2, custom_net_batch);  // warm the describe->compile path
+  double wirenet_c8d4 = 0.0;
+  double wirenet_c1d1 = 0.0;
+  for (const auto& [connections, depth] :
+       std::vector<std::pair<int, int>>{{1, 1}, {8, 4}}) {
+    char section[32];
+    std::snprintf(section, sizeof section, "wirenet_c%dd%d", connections,
+                  depth);
+    h.run(section,
+          [&, c = connections, d = depth] {
+            spikes = pool.round(c, d, custom_net_batch);
+          },
+          kMinReps);
+    const double ms = h.section_ms(section);
+    const double rate = ms > 0.0 ? 1e3 * kSessionsPerRound / ms : 0.0;
+    if (connections == 1) wirenet_c1d1 = rate;
+    if (connections == 8) wirenet_c8d4 = rate;
+    std::printf("%-16s %10d %12.1f %14.0f  (client-described net)\n",
+                section, kSessionsPerRound, ms, rate);
+    if (spikes == 0) std::printf("  WARNING: round produced no spikes\n");
+  }
+
+  std::vector<double> submit_ms;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const double ms = measure_submit_compile_ms(srv.port(), 9500 + i);
+    if (ms >= 0.0) submit_ms.push_back(ms);
+  }
+  if (submit_ms.empty()) {
+    // All probes failed: emit an impossible sentinel, not a perfect 0.00
+    // that a trajectory consumer would read as a speedup.
+    std::printf("WARNING: every submit-compile probe failed\n");
+  }
+  const double submit_p50 =
+      submit_ms.empty() ? -1.0 : percentile(submit_ms, 0.50);
+  const double submit_p99 =
+      submit_ms.empty() ? -1.0 : percentile(submit_ms, 0.99);
+  std::printf("net submission+compile (describe -> built, no run): "
+              "p50=%.2f ms p99=%.2f ms over %zu probes\n",
+              submit_p50, submit_p99, submit_ms.size());
+
   std::vector<double> ttfs;
   for (std::uint64_t i = 0; i < 20; ++i) {
     const double ms = measure_ttfs_ms(srv.port(), 9000 + i);
@@ -313,6 +424,12 @@ int main(int argc, char** argv) {
   h.metric("sessions_per_sec_net_best", best_rate, "sessions/s");
   h.metric("net_vs_embedded_ratio",
            base_rate > 0.0 ? best_rate / base_rate : 0.0, "");
+  h.metric("sessions_per_sec_wirenet_c1d1", wirenet_c1d1, "sessions/s");
+  h.metric("sessions_per_sec_wirenet_c8d4", wirenet_c8d4, "sessions/s");
+  h.metric("wirenet_vs_builtin_ratio",
+           rate_c8d4 > 0.0 ? wirenet_c8d4 / rate_c8d4 : 0.0, "");
+  h.metric("net_submit_compile_p50_ms", submit_p50, "ms");
+  h.metric("net_submit_compile_p99_ms", submit_p99, "ms");
   h.metric("ttfs_p50_ms", ttfs_p50, "ms");
   h.metric("ttfs_p99_ms", ttfs_p99, "ms");
   h.metric("bio_ms_per_session",

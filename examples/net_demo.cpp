@@ -1,15 +1,19 @@
 // net_demo: the socket transport end-to-end.
 //
-// Starts a NetServer on an ephemeral loopback port and walks the three
-// client idioms against it — synchronous request/response, an explicit
-// batch frame (one round-trip for a whole session lifecycle, `$` binding
-// the freshly-opened id), and pipelined frames with several sessions in
-// flight — then drives 8 concurrent connections and verifies every spike
-// stream delivered over the wire is bit-identical to the same spec run
-// standalone.  The printed output is pinned as a golden test: spike counts
-// and times are properties of the specs, not of scheduling, port choice or
-// connection interleaving.
+// Starts a NetServer on an ephemeral loopback port and walks the client
+// idioms against it — synchronous request/response, an explicit batch
+// frame (one round-trip for a whole session lifecycle, `$` binding the
+// freshly-opened id), pipelined frames with several sessions in flight,
+// and a client-described network (the `net ... end` block + `open app=@`:
+// an arbitrary PyNN-style net submitted over the wire instead of naming a
+// built-in app) — then drives 8 concurrent connections and verifies every
+// spike stream delivered over the wire is bit-identical to the same spec
+// run standalone.  The printed output is pinned as a golden test: spike
+// counts and times are properties of the specs, not of scheduling, port
+// choice or connection interleaving.
 #include <cstdio>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -138,7 +142,47 @@ int main() {
   std::printf("%d/%zu socket streams bit-identical to standalone\n",
               identical, jobs.size());
 
-  // --- 5. the books --------------------------------------------------------
+  // --- 5. a client-described net: the wire-format front door ---------------
+  std::printf("\n[5] client-described net: net ... end + open app=@ in one "
+              "batch\n");
+  net::NetBuilder builder;
+  builder.spike_source("stim", {{1, 6}, {3}});
+  builder.poisson("bg", 24, 30.0);
+  builder.lif("cells", 40).v_thresh = -54.0;
+  builder.project("stim", "cells", neural::Connector::all_to_all(),
+                  neural::ValueDist::fixed(15.0),
+                  neural::ValueDist::fixed(1.0));
+  builder.project("bg", "cells", neural::Connector::fixed_probability(0.25),
+                  neural::ValueDist::uniform(2.0, 6.0),
+                  neural::ValueDist::fixed(1.0));
+  builder.project("cells", "cells",
+                  neural::Connector::fixed_probability(0.08),
+                  neural::ValueDist::fixed(1.5),
+                  neural::ValueDist::fixed(2.0), /*inhibitory=*/true);
+  std::vector<std::string> net_lines = builder.lines();
+  net_lines.push_back("open app=@ seed=77");
+  net_lines.push_back("run $ 15");
+  net_lines.push_back("wait $");
+  net_lines.push_back("drain $");
+  net_lines.push_back("close $");
+  const auto net_blocks =
+      net::Client::split_response(sync_client.batch(net_lines));
+  Events custom_stream;
+  if (net_blocks.size() == 6) {
+    std::printf("net block -> %s\n", net_blocks[0].c_str());
+    net::parse_spikes(net_blocks[4], &custom_stream);
+  }
+  print_stream("custom net seed=77, 15 ms", custom_stream);
+  server::SessionSpec custom_spec;
+  custom_spec.seed = 77;
+  custom_spec.net = std::make_shared<const neural::NetworkDescription>(
+      builder.description());
+  const bool custom_identical = same_events(
+      custom_stream, server::run_standalone(custom_spec, 15 * kMillisecond));
+  std::printf("wire stream vs embedded build of the same description: %s\n",
+              custom_identical ? "bit-identical" : "MISMATCH");
+
+  // --- 6. the books --------------------------------------------------------
   const auto net_stats = srv.stats();
   const auto sess = srv.sessions().stats();
   std::printf("\nnet: accepted=%llu shed_slow=%llu shed_flood=%llu "
@@ -153,5 +197,7 @@ int main() {
               static_cast<unsigned long long>(sess.closed),
               static_cast<unsigned long long>(sess.evicted),
               static_cast<unsigned long long>(sess.rejected), sess.resident);
-  return identical == static_cast<int>(jobs.size()) ? 0 : 1;
+  return identical == static_cast<int>(jobs.size()) && custom_identical
+             ? 0
+             : 1;
 }

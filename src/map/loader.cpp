@@ -12,8 +12,21 @@ LoadReport Loader::load(const neural::Network& net, mesh::Machine& machine,
   // 1. Place.
   report.placement = place(net, machine, cfg_);
   if (!report.placement.fits) {
+    // Quantify the miss: this string reaches a session's status (and so a
+    // wire client who described the net), where "does not fit" alone
+    // gives no hint whether to shrink the net or grow the machine.
+    std::uint64_t required = 0;
+    for (const auto& p : net.populations()) {
+      required += (static_cast<std::uint64_t>(p.size) +
+                   cfg_.neurons_per_core - 1) /
+                  cfg_.neurons_per_core;
+    }
     report.ok = false;
-    report.error = "network does not fit on the machine";
+    report.error = "network does not fit on the machine: " +
+                   std::to_string(net.total_neurons()) + " neurons need " +
+                   std::to_string(required) + " cores at " +
+                   std::to_string(cfg_.neurons_per_core) +
+                   " neurons_per_core";
     return report;
   }
   const PlacementResult& placement = report.placement;

@@ -5,8 +5,72 @@
 #include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
+#include <utility>
+
+#include "net/protocol.hpp"
 
 namespace spinn::net {
+
+neural::PopulationDesc& NetBuilder::lif(const std::string& name,
+                                        std::uint32_t size) {
+  desc_.populations.push_back(
+      neural::make_population(name, neural::NeuronModel::Lif, size));
+  return desc_.populations.back();
+}
+
+neural::PopulationDesc& NetBuilder::izhikevich(const std::string& name,
+                                               std::uint32_t size) {
+  desc_.populations.push_back(
+      neural::make_population(name, neural::NeuronModel::Izhikevich, size));
+  return desc_.populations.back();
+}
+
+neural::PopulationDesc& NetBuilder::poisson(const std::string& name,
+                                            std::uint32_t size,
+                                            double rate_hz) {
+  neural::PopulationDesc p =
+      neural::make_population(name, neural::NeuronModel::PoissonSource, size);
+  p.rate_hz = rate_hz;
+  desc_.populations.push_back(std::move(p));
+  return desc_.populations.back();
+}
+
+neural::PopulationDesc& NetBuilder::spike_source(
+    const std::string& name,
+    std::vector<std::vector<std::uint32_t>> schedule) {
+  neural::PopulationDesc p = neural::make_population(
+      name, neural::NeuronModel::SpikeSourceArray,
+      static_cast<std::uint32_t>(schedule.size()));
+  p.schedule = std::move(schedule);
+  desc_.populations.push_back(std::move(p));
+  return desc_.populations.back();
+}
+
+neural::ProjectionDesc& NetBuilder::project(const std::string& pre,
+                                            const std::string& post,
+                                            neural::Connector connector,
+                                            neural::ValueDist weight,
+                                            neural::ValueDist delay_ms,
+                                            bool inhibitory) {
+  desc_.projections.push_back(neural::make_projection(
+      pre, post, connector, weight, delay_ms, inhibitory));
+  return desc_.projections.back();
+}
+
+neural::ProjectionDesc& NetBuilder::project_plastic(
+    const std::string& pre, const std::string& post,
+    neural::Connector connector, neural::ValueDist weight,
+    neural::ValueDist delay_ms, const neural::StdpParams& stdp) {
+  neural::ProjectionDesc& proj =
+      project(pre, post, connector, weight, delay_ms, /*inhibitory=*/false);
+  proj.stdp = stdp;
+  proj.stdp.enabled = true;
+  return proj;
+}
+
+std::vector<std::string> NetBuilder::lines() const {
+  return encode_net(desc_);
+}
 
 namespace {
 /// Cork ceiling: past this the pending frames go to the wire even without

@@ -31,8 +31,69 @@
 
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "neural/network.hpp"
 
 namespace spinn::net {
+
+/// Typed builder for wire-submitted networks: the client-side mirror of
+/// neural::Network's convenience builders, accumulating a
+/// NetworkDescription and emitting its canonical `net ... end` block for a
+/// batch frame.  Because the server compiles the parsed description
+/// through the same neural::build as an embedded caller would, a net
+/// submitted from here is bit-identical to building description() locally
+/// (tests/net_description_test.cpp pins this).
+///
+///   NetBuilder b;
+///   b.poisson("noise", 32, 40.0);
+///   b.lif("cells", 64);
+///   b.project("noise", "cells", neural::Connector::fixed_probability(0.25),
+///             neural::ValueDist::uniform(4.0, 8.0),
+///             neural::ValueDist::fixed(1.0));
+///   auto lines = b.lines();                  // net / pop ... / proj ... / end
+///   lines.push_back("open app=@ seed=7");    // @ = the net this batch sent
+///   lines.push_back("run $ 20");
+///   ...
+///   client.batch(lines);
+///
+/// Population methods return the just-added PopulationDesc (and project*
+/// the ProjectionDesc) for parameter tweaks.  The reference points into
+/// the growing description and is INVALIDATED by the next builder call —
+/// tweak immediately (as above), never hold it across another add.
+class NetBuilder {
+ public:
+  neural::PopulationDesc& lif(const std::string& name, std::uint32_t size);
+  neural::PopulationDesc& izhikevich(const std::string& name,
+                                     std::uint32_t size);
+  neural::PopulationDesc& poisson(const std::string& name,
+                                  std::uint32_t size, double rate_hz);
+  neural::PopulationDesc& spike_source(
+      const std::string& name,
+      std::vector<std::vector<std::uint32_t>> schedule);
+
+  neural::ProjectionDesc& project(const std::string& pre,
+                                  const std::string& post,
+                                  neural::Connector connector,
+                                  neural::ValueDist weight,
+                                  neural::ValueDist delay_ms,
+                                  bool inhibitory = false);
+  neural::ProjectionDesc& project_plastic(const std::string& pre,
+                                          const std::string& post,
+                                          neural::Connector connector,
+                                          neural::ValueDist weight,
+                                          neural::ValueDist delay_ms,
+                                          const neural::StdpParams& stdp);
+
+  /// The accumulated description (what an embedded caller would hand to
+  /// neural::build, or a SessionSpec's `net` field).
+  const neural::NetworkDescription& description() const { return desc_; }
+
+  /// The canonical wire block: `net`, pop/proj lines, `end` — splice into
+  /// a batch ahead of `open app=@ ...`.
+  std::vector<std::string> lines() const;
+
+ private:
+  neural::NetworkDescription desc_;
+};
 
 class Client {
  public:

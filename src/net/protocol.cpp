@@ -1,6 +1,8 @@
 #include "net/protocol.hpp"
 
+#include <charconv>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -12,6 +14,10 @@ namespace {
 using server::parse_run_ms;
 
 std::vector<std::string> split_lines(const std::string& text) {
+  // Interior blank lines are KEPT (they execute as no-ops): `err @<n>`
+  // indices must match the client's own line numbering even when a batch
+  // uses blank separators.  Trailing blanks are trimmed so a terminating
+  // newline doesn't turn a single command into a "batch".
   std::vector<std::string> lines;
   std::size_t start = 0;
   while (start <= text.size()) {
@@ -19,10 +25,11 @@ std::vector<std::string> split_lines(const std::string& text) {
     const std::size_t end = nl == std::string::npos ? text.size() : nl;
     std::string line = text.substr(start, end - start);
     if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (!line.empty()) lines.push_back(std::move(line));
+    lines.push_back(std::move(line));
     if (nl == std::string::npos) break;
     start = nl + 1;
   }
+  while (!lines.empty() && lines.back().empty()) lines.pop_back();
   return lines;
 }
 
@@ -41,6 +48,113 @@ std::vector<std::string> tokenize(const std::string& line) {
 }
 
 std::string u64(std::uint64_t v) { return std::to_string(v); }
+
+// ---- net-grammar scalar helpers --------------------------------------------
+
+/// Strict whole-token double parse; finite only.  from_chars, not strtod:
+/// the wire grammar must not bend to the host's LC_NUMERIC.
+bool parse_f64_tok(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  double v = 0.0;
+  const char* const end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, v);
+  if (ec != std::errc{} || ptr != end || !std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+/// `v` or `lo:hi`.
+bool parse_dist_tok(const std::string& text, neural::ValueDist* out) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos) {
+    double v = 0.0;
+    if (!parse_f64_tok(text, &v)) return false;
+    *out = neural::ValueDist::fixed(v);
+    return true;
+  }
+  double lo = 0.0;
+  double hi = 0.0;
+  if (!parse_f64_tok(text.substr(0, colon), &lo) ||
+      !parse_f64_tok(text.substr(colon + 1), &hi)) {
+    return false;
+  }
+  *out = neural::ValueDist::uniform(lo, hi);
+  return true;
+}
+
+bool parse_bool_tok(const std::string& text, bool* out) {
+  if (text == "1") {
+    *out = true;
+    return true;
+  }
+  if (text == "0") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+/// `t,t,...;t;...` — one `;`-separated group per neuron, ticks `,`-joined.
+bool parse_schedule_tok(const std::string& text,
+                        std::vector<std::vector<std::uint32_t>>* out,
+                        std::string* why) {
+  out->clear();
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t semi = text.find(';', start);
+    const std::string group =
+        text.substr(start, (semi == std::string::npos ? text.size() : semi) -
+                               start);
+    std::vector<std::uint32_t> train;
+    if (!group.empty()) {
+      std::size_t tick_start = 0;
+      for (;;) {
+        const std::size_t comma = group.find(',', tick_start);
+        const std::string tok = group.substr(
+            tick_start,
+            (comma == std::string::npos ? group.size() : comma) - tick_start);
+        std::uint64_t tick = 0;
+        if (!server::parse_u64_strict(tok, neural::kMaxScheduleTick, &tick)) {
+          *why = "bad schedule tick '" + tok + "'";
+          return false;
+        }
+        train.push_back(static_cast<std::uint32_t>(tick));
+        if (comma == std::string::npos) break;
+        tick_start = comma + 1;
+      }
+    }
+    out->push_back(std::move(train));
+    if (semi == std::string::npos) break;
+    start = semi + 1;
+  }
+  return true;
+}
+
+/// Shortest decimal that round-trips the exact double — what keeps the
+/// wire form lossless (and the fuzz round-trip byte-stable).
+std::string dbl(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, static_cast<std::size_t>(ptr - buf));
+}
+
+std::string dist(const neural::ValueDist& v) {
+  return v.lo == v.hi ? dbl(v.lo) : dbl(v.lo) + ":" + dbl(v.hi);
+}
+
+const char* model_token(neural::NeuronModel m) {
+  switch (m) {
+    case neural::NeuronModel::Lif: return "lif";
+    case neural::NeuronModel::Izhikevich: return "izh";
+    case neural::NeuronModel::PoissonSource: return "poisson";
+    case neural::NeuronModel::SpikeSourceArray: return "spike_source";
+  }
+  return "?";
+}
+
+bool connector_default_self(neural::ConnectorKind kind) {
+  return kind == neural::ConnectorKind::OneToOne;
+}
 
 std::string format_status(const server::SessionStatus& st) {
   char buf[256];
@@ -68,6 +182,309 @@ std::string format_stats(const server::ServerStats& st) {
 }
 
 }  // namespace
+
+// ---- the `net` block grammar -----------------------------------------------
+
+NetParser::Status NetParser::fail(const std::string& why) {
+  error_ = why;
+  return Status::Error;
+}
+
+NetParser::Status NetParser::feed(const std::string& line) {
+  const std::vector<std::string> tokens = tokenize(line);
+  if (tokens.empty()) return Status::More;
+  if (tokens[0] == "pop") return parse_pop(tokens);
+  if (tokens[0] == "proj") return parse_proj(tokens);
+  if (tokens[0] == "end") {
+    if (tokens.size() != 1) return fail("'end' takes no arguments");
+    std::string why;
+    if (!neural::validate(desc_, &why)) return fail(why);
+    return Status::Done;
+  }
+  if (tokens[0] == "net") return fail("nested 'net' inside a net block");
+  return fail("expected pop, proj or end inside a net block, got '" +
+              tokens[0] + "'");
+}
+
+std::shared_ptr<const neural::NetworkDescription> NetParser::take() {
+  return std::make_shared<const neural::NetworkDescription>(
+      std::move(desc_));
+}
+
+NetParser::Status NetParser::parse_pop(
+    const std::vector<std::string>& tokens) {
+  if (tokens.size() < 4) {
+    return fail(
+        "usage: pop <name> <lif|izh|poisson|spike_source> <size> "
+        "[key=value ...]");
+  }
+  const std::string& model = tokens[2];
+  neural::NeuronModel kind;
+  if (model == "lif") {
+    kind = neural::NeuronModel::Lif;
+  } else if (model == "izh") {
+    kind = neural::NeuronModel::Izhikevich;
+  } else if (model == "poisson") {
+    kind = neural::NeuronModel::PoissonSource;
+  } else if (model == "spike_source") {
+    kind = neural::NeuronModel::SpikeSourceArray;
+  } else {
+    return fail("unknown neuron model '" + model + "'");
+  }
+  std::uint64_t size = 0;
+  if (!server::parse_u64_strict(tokens[3], neural::kMaxPopulationSize, &size) ||
+      size == 0) {
+    return fail("population size must be an integer in [1, " +
+                u64(neural::kMaxPopulationSize) + "], got '" + tokens[3] +
+                "'");
+  }
+  neural::PopulationDesc pd = neural::make_population(
+      tokens[1], kind, static_cast<std::uint32_t>(size));
+  if (pd.model == neural::NeuronModel::SpikeSourceArray) {
+    pd.schedule.assign(pd.size, {});  // default: silent trains
+  }
+  for (std::size_t i = 4; i < tokens.size(); ++i) {
+    const std::size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      return fail("expected key=value, got '" + tokens[i] + "'");
+    }
+    const std::string key = tokens[i].substr(0, eq);
+    const std::string value = tokens[i].substr(eq + 1);
+    const auto bad_number = [&]() {
+      return fail("'" + key + "' expects a number, got '" + value + "'");
+    };
+    // Keys are gated per model: a rate on a LIF population is a typo the
+    // client should hear about, not a silently-ignored field.
+    const bool is_lif = pd.model == neural::NeuronModel::Lif;
+    const bool is_izh = pd.model == neural::NeuronModel::Izhikevich;
+    if (key == "record") {
+      if (!parse_bool_tok(value, &pd.record)) {
+        return fail("'record' expects 0 or 1, got '" + value + "'");
+      }
+    } else if (is_lif && key == "v_rest") {
+      if (!parse_f64_tok(value, &pd.v_rest)) return bad_number();
+    } else if (is_lif && key == "v_reset") {
+      if (!parse_f64_tok(value, &pd.v_reset)) return bad_number();
+    } else if (is_lif && key == "v_thresh") {
+      if (!parse_f64_tok(value, &pd.v_thresh)) return bad_number();
+    } else if (is_lif && key == "decay") {
+      if (!parse_f64_tok(value, &pd.decay)) return bad_number();
+    } else if (is_lif && key == "r_scale") {
+      if (!parse_f64_tok(value, &pd.r_scale)) return bad_number();
+    } else if (is_lif && key == "refractory") {
+      std::uint64_t ticks = 0;
+      if (!server::parse_u64_strict(value, 255, &ticks)) {
+        return fail("'refractory' expects an integer <= 255, got '" + value +
+                    "'");
+      }
+      pd.refractory = static_cast<std::uint32_t>(ticks);
+    } else if (is_izh && key == "a") {
+      if (!parse_f64_tok(value, &pd.a)) return bad_number();
+    } else if (is_izh && key == "b") {
+      if (!parse_f64_tok(value, &pd.b)) return bad_number();
+    } else if (is_izh && key == "c") {
+      if (!parse_f64_tok(value, &pd.c)) return bad_number();
+    } else if (is_izh && key == "d") {
+      if (!parse_f64_tok(value, &pd.d)) return bad_number();
+    } else if (pd.model == neural::NeuronModel::PoissonSource &&
+               key == "rate") {
+      if (!parse_f64_tok(value, &pd.rate_hz)) return bad_number();
+    } else if (pd.model == neural::NeuronModel::SpikeSourceArray &&
+               key == "sched") {
+      std::string why;
+      if (!parse_schedule_tok(value, &pd.schedule, &why)) return fail(why);
+      if (pd.schedule.size() != pd.size) {
+        return fail("sched defines " + u64(pd.schedule.size()) +
+                    " spike trains for size " + u64(pd.size));
+      }
+    } else {
+      return fail("unknown key '" + key + "' for model '" + model + "'");
+    }
+  }
+  desc_.populations.push_back(std::move(pd));
+  return Status::More;
+}
+
+NetParser::Status NetParser::parse_proj(
+    const std::vector<std::string>& tokens) {
+  if (tokens.size() < 4) {
+    return fail("usage: proj <pre> <post> <all|one|prob=<p>> [key=value ...]");
+  }
+  neural::ProjectionDesc proj;
+  proj.pre = tokens[1];
+  proj.post = tokens[2];
+  // Declare-before-use (the canonical encoding always satisfies it): the
+  // reference error then names this line, not the closing `end`.
+  if (neural::population_index(desc_, proj.pre) < 0) {
+    return fail("projection references unknown population '" + proj.pre +
+                "'");
+  }
+  if (neural::population_index(desc_, proj.post) < 0) {
+    return fail("projection references unknown population '" + proj.post +
+                "'");
+  }
+  const std::string& conn = tokens[3];
+  if (conn == "all") {
+    proj.connector = neural::Connector::all_to_all();
+  } else if (conn == "one") {
+    proj.connector = neural::Connector::one_to_one();
+  } else if (conn.rfind("prob=", 0) == 0) {
+    double p = 0.0;
+    if (!parse_f64_tok(conn.substr(5), &p)) {
+      return fail("'prob' expects a number, got '" + conn.substr(5) + "'");
+    }
+    proj.connector = neural::Connector::fixed_probability(p);
+  } else {
+    return fail("unknown connector '" + conn + "' (all, one or prob=<p>)");
+  }
+  for (std::size_t i = 4; i < tokens.size(); ++i) {
+    const std::size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      return fail("expected key=value, got '" + tokens[i] + "'");
+    }
+    const std::string key = tokens[i].substr(0, eq);
+    const std::string value = tokens[i].substr(eq + 1);
+    if (key == "w") {
+      if (!parse_dist_tok(value, &proj.weight)) {
+        return fail("'w' expects <v> or <lo>:<hi>, got '" + value + "'");
+      }
+    } else if (key == "d") {
+      if (!parse_dist_tok(value, &proj.delay_ms)) {
+        return fail("'d' expects <v> or <lo>:<hi>, got '" + value + "'");
+      }
+    } else if (key == "inh") {
+      if (!parse_bool_tok(value, &proj.inhibitory)) {
+        return fail("'inh' expects 0 or 1, got '" + value + "'");
+      }
+    } else if (key == "self") {
+      if (proj.connector.kind == neural::ConnectorKind::OneToOne) {
+        // Elaboration always wires the diagonal for one-to-one; accepting
+        // the key would silently mean nothing.
+        return fail("'self' does not apply to the one connector");
+      }
+      if (!parse_bool_tok(value, &proj.connector.allow_self)) {
+        return fail("'self' expects 0 or 1, got '" + value + "'");
+      }
+    } else if (key == "stdp") {
+      // a_plus,a_minus,window_ticks,w_max — presence enables plasticity.
+      std::size_t start = 0;
+      std::vector<std::string> fields;
+      for (;;) {
+        const std::size_t comma = value.find(',', start);
+        fields.push_back(value.substr(
+            start,
+            (comma == std::string::npos ? value.size() : comma) - start));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      std::uint64_t window = 0;
+      if (fields.size() != 4 ||
+          !parse_f64_tok(fields[0], &proj.stdp.a_plus) ||
+          !parse_f64_tok(fields[1], &proj.stdp.a_minus) ||
+          !server::parse_u64_strict(fields[2], neural::kMaxStdpWindowTicks,
+                                    &window) ||
+          !parse_f64_tok(fields[3], &proj.stdp.w_max)) {
+        return fail(
+            "'stdp' expects <a_plus>,<a_minus>,<window_ticks>,<w_max>, "
+            "got '" + value + "'");
+      }
+      proj.stdp.window_ticks = static_cast<std::uint32_t>(window);
+      proj.stdp.enabled = true;
+    } else {
+      return fail("unknown key '" + key + "' for proj");
+    }
+  }
+  desc_.projections.push_back(std::move(proj));
+  return Status::More;
+}
+
+std::vector<std::string> encode_net(
+    const neural::NetworkDescription& desc) {
+  std::vector<std::string> lines;
+  lines.reserve(desc.populations.size() + desc.projections.size() + 2);
+  lines.emplace_back("net");
+  // Omitted keys mean "the default": compare against a default-constructed
+  // desc, not restated literals, so a drifted default in network.hpp can
+  // never silently break the lossless round-trip.
+  static const neural::PopulationDesc dp;
+  for (const neural::PopulationDesc& p : desc.populations) {
+    std::string line = "pop " + p.name + " " + model_token(p.model) + " " +
+                       u64(p.size);
+    switch (p.model) {
+      case neural::NeuronModel::Lif:
+        if (p.v_rest != dp.v_rest) line += " v_rest=" + dbl(p.v_rest);
+        if (p.v_reset != dp.v_reset) line += " v_reset=" + dbl(p.v_reset);
+        if (p.v_thresh != dp.v_thresh) {
+          line += " v_thresh=" + dbl(p.v_thresh);
+        }
+        if (p.decay != dp.decay) line += " decay=" + dbl(p.decay);
+        if (p.r_scale != dp.r_scale) line += " r_scale=" + dbl(p.r_scale);
+        if (p.refractory != dp.refractory) {
+          line += " refractory=" + u64(p.refractory);
+        }
+        break;
+      case neural::NeuronModel::Izhikevich:
+        if (p.a != dp.a) line += " a=" + dbl(p.a);
+        if (p.b != dp.b) line += " b=" + dbl(p.b);
+        if (p.c != dp.c) line += " c=" + dbl(p.c);
+        if (p.d != dp.d) line += " d=" + dbl(p.d);
+        break;
+      case neural::NeuronModel::PoissonSource:
+        if (p.rate_hz != dp.rate_hz) line += " rate=" + dbl(p.rate_hz);
+        break;
+      case neural::NeuronModel::SpikeSourceArray: {
+        bool any = false;
+        for (const auto& train : p.schedule) any = any || !train.empty();
+        if (any) {
+          line += " sched=";
+          for (std::size_t n = 0; n < p.schedule.size(); ++n) {
+            if (n > 0) line += ';';
+            for (std::size_t t = 0; t < p.schedule[n].size(); ++t) {
+              if (t > 0) line += ',';
+              line += u64(p.schedule[n][t]);
+            }
+          }
+        }
+        break;
+      }
+    }
+    if (p.record != neural::default_record(p.model)) {
+      line += std::string(" record=") + (p.record ? "1" : "0");
+    }
+    lines.push_back(std::move(line));
+  }
+  static const neural::ProjectionDesc dj;
+  for (const neural::ProjectionDesc& proj : desc.projections) {
+    std::string line = "proj " + proj.pre + " " + proj.post + " ";
+    switch (proj.connector.kind) {
+      case neural::ConnectorKind::AllToAll: line += "all"; break;
+      case neural::ConnectorKind::OneToOne: line += "one"; break;
+      case neural::ConnectorKind::FixedProbability:
+        line += "prob=" + dbl(proj.connector.probability);
+        break;
+    }
+    if (proj.connector.allow_self !=
+        connector_default_self(proj.connector.kind)) {
+      line += std::string(" self=") + (proj.connector.allow_self ? "1" : "0");
+    }
+    if (proj.weight.lo != dj.weight.lo || proj.weight.hi != dj.weight.hi) {
+      line += " w=" + dist(proj.weight);
+    }
+    if (proj.delay_ms.lo != dj.delay_ms.lo ||
+        proj.delay_ms.hi != dj.delay_ms.hi) {
+      line += " d=" + dist(proj.delay_ms);
+    }
+    if (proj.inhibitory) line += " inh=1";
+    if (proj.stdp.enabled) {
+      line += " stdp=" + dbl(proj.stdp.a_plus) + "," +
+              dbl(proj.stdp.a_minus) + "," + u64(proj.stdp.window_ticks) +
+              "," + dbl(proj.stdp.w_max);
+    }
+    lines.push_back(std::move(line));
+  }
+  lines.emplace_back("end");
+  return lines;
+}
 
 std::string format_spikes(
     const std::vector<neural::SpikeRecorder::Event>& events) {
@@ -132,6 +549,46 @@ void Request::respond(const std::string& block) {
   response_ += block;
 }
 
+void Request::fail_at(std::size_t line, const std::string& reason) {
+  // In a batch, name the failing line (1-based): a 12-line submission that
+  // answers `err @7 ...` is debuggable, one that answers `err ...` is not.
+  if (lines_.size() > 1) {
+    respond("err @" + std::to_string(line + 1) + " " + reason);
+  } else {
+    respond("err " + reason);
+  }
+}
+
+void Request::exec_net_line(const std::string& line) {
+  const std::size_t here = next_line_;
+  ++next_line_;
+  if (net_failed_) {
+    // The block already answered its one error; swallow its remaining
+    // lines so commands after `end` still execute.
+    const std::vector<std::string> tokens = tokenize(line);
+    if (!tokens.empty() && tokens[0] == "end") net_failed_ = false;
+    return;
+  }
+  const NetParser::Status status = net_parser_->feed(line);
+  if (status == NetParser::Status::More) return;
+  if (status == NetParser::Status::Error) {
+    fail_at(here, "net: " + net_parser_->error());
+    batch_net_.reset();  // a failed block unbinds `@`
+    net_parser_.reset();
+    const std::vector<std::string> tokens = tokenize(line);
+    net_failed_ = tokens.empty() || tokens[0] != "end";
+    return;
+  }
+  batch_net_ = net_parser_->take();
+  net_parser_.reset();
+  std::uint64_t neurons = 0;
+  for (const auto& p : batch_net_->populations) neurons += p.size;
+  respond("ok net pops=" + u64(batch_net_->populations.size()) +
+          " projs=" + u64(batch_net_->projections.size()) +
+          " neurons=" + u64(neurons) + " synapses~" +
+          u64(neural::estimated_synapses(*batch_net_)));
+}
+
 bool Request::resolve_id(const std::string& token,
                          server::SessionId* id) const {
   if (token == "$") {
@@ -151,17 +608,30 @@ void Request::exec_open(const std::vector<std::string>& tokens) {
   server::SessionSpec spec;
   std::string error;
   for (std::size_t i = 1; i < tokens.size(); ++i) {
+    // `app=@` opens the batch's own described network (the `net ... end`
+    // block that preceded this open) instead of a built-in app.
+    if (tokens[i] == "app=@") {
+      if (!batch_net_) {
+        batch_id_ = server::kInvalidSession;
+        fail("no network description bound: 'net ... end' must precede "
+             "open app=@");
+        ++next_line_;
+        return;
+      }
+      spec.net = batch_net_;
+      continue;
+    }
     const auto eq = tokens[i].find('=');
     if (eq == std::string::npos) {
       batch_id_ = server::kInvalidSession;  // malformed open unbinds `$`
-      respond("err expected key=value, got '" + tokens[i] + "'");
+      fail("expected key=value, got '" + tokens[i] + "'");
       ++next_line_;
       return;
     }
     if (!server::apply_kv(spec, tokens[i].substr(0, eq),
                           tokens[i].substr(eq + 1), &error)) {
       batch_id_ = server::kInvalidSession;
-      respond("err " + error);
+      fail(error);
       ++next_line_;
       return;
     }
@@ -186,7 +656,7 @@ void Request::exec_open(const std::vector<std::string>& tokens) {
     // batch succeeded, later `$` commands must not silently fall through
     // to the wrong session.
     batch_id_ = server::kInvalidSession;
-    respond("err " + error);
+    fail(error);
     ++next_line_;  // a fused run still reports against the failed open
     return;
   }
@@ -202,12 +672,32 @@ void Request::exec_open(const std::vector<std::string>& tokens) {
 bool Request::advance() {
   waiting_ = server::kInvalidSession;
   while (next_line_ < lines_.size()) {
+    if (net_parser_ != nullptr || net_failed_) {
+      exec_net_line(lines_[next_line_]);
+      continue;
+    }
     const std::vector<std::string> tokens = tokenize(lines_[next_line_]);
     if (tokens.empty()) {
       ++next_line_;
       continue;
     }
     const std::string& cmd = tokens[0];
+    if (cmd == "net") {
+      if (tokens.size() != 1) {
+        fail("usage: net (alone on its line, then pop/proj lines, then "
+             "end)");
+      } else {
+        net_parser_ = std::make_unique<NetParser>();
+        net_line_ = next_line_;
+      }
+      ++next_line_;
+      continue;
+    }
+    if (cmd == "pop" || cmd == "proj" || cmd == "end") {
+      fail("'" + cmd + "' is only valid inside a net block");
+      ++next_line_;
+      continue;
+    }
     if (cmd == "open") {
       exec_open(tokens);
       continue;
@@ -232,25 +722,28 @@ bool Request::advance() {
     // Everything below addresses a session: <cmd> <id|$> [...].
     server::SessionId id = server::kInvalidSession;
     if (tokens.size() < 2 || !resolve_id(tokens[1], &id)) {
-      respond(tokens.size() >= 2 && tokens[1] == "$"
-                  ? "err no successful open in this batch"
-                  : "err usage: " + cmd + " <id|$> ...");
+      if (tokens.size() >= 2 && tokens[1] == "$") {
+        fail("no successful open in this batch");
+      } else {
+        fail("usage: " + cmd + " <id|$> ...");
+      }
       ++next_line_;
       continue;
     }
     if (cmd == "run") {
       TimeNs duration = 0;
       if (tokens.size() < 3 || !parse_run_ms(tokens[2], &duration)) {
-        respond("err usage: run <id|$> <bio ms in (0, 1e9]>");
+        fail("usage: run <id|$> <bio ms in (0, 1e9]>");
+      } else if (srv_.run(id, duration)) {
+        respond("ok");
       } else {
-        respond(srv_.run(id, duration) ? "ok"
-                                       : "err unknown or closed session");
+        fail("unknown or closed session");
       }
       ++next_line_;
     } else if (cmd == "wait") {
       const server::SessionStatus st = srv_.status(id);
       if (st.id == server::kInvalidSession) {
-        respond("err unknown session");
+        fail("unknown session");
         ++next_line_;
         continue;
       }
@@ -267,16 +760,33 @@ bool Request::advance() {
       ++next_line_;
     } else if (cmd == "status") {
       const server::SessionStatus st = srv_.status(id);
-      respond(st.id == server::kInvalidSession ? "err unknown session"
-                                               : format_status(st));
+      if (st.id == server::kInvalidSession) {
+        fail("unknown session");
+      } else {
+        respond(format_status(st));
+      }
       ++next_line_;
     } else if (cmd == "close") {
-      respond(srv_.close(id) ? "ok" : "err unknown or already closed");
+      if (srv_.close(id)) {
+        respond("ok");
+      } else {
+        fail("unknown or already closed");
+      }
       ++next_line_;
     } else {
-      respond("err unknown command '" + cmd + "'");
+      fail("unknown command '" + cmd + "'");
       ++next_line_;
     }
+  }
+  // A frame that ended inside a net block answers the truncation against
+  // the opening `net` line — also after a mid-block error, where the
+  // recovery skip swallowed the rest of the frame looking for `end`
+  // (possibly real commands): the client must hear they never ran.
+  if (net_parser_ != nullptr || net_failed_) {
+    fail_at(net_line_, "net description truncated: missing 'end'");
+    net_parser_.reset();
+    batch_net_.reset();
+    net_failed_ = false;
   }
   if (response_.empty()) respond("err empty request");
   done_ = true;

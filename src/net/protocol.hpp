@@ -9,6 +9,18 @@
 // `open ...` + `run $ <ms>` is executed as SessionServer::open_and_run —
 // one scheduler submission covers admission, build and the first run.
 //
+// A batch may also *describe a network*: the lines between `net` and `end`
+// define populations and projections (the full grammar is in
+// docs/SERVER.md), answer as one response block, and bind the parsed
+// description to `@` — `open app=@ ...` then opens a session running the
+// client's own net through the same place/route/load pipeline as a
+// built-in app.  Parsing is incremental (one NetParser owned by the
+// Request, fed a line at a time) and strictly validated; any error names
+// the offending line and token, skips the rest of the block, and leaves
+// `@` unbound.  In a batch, every error response is prefixed `err @<n>`
+// with the 1-based line number of the command that failed, so a client
+// can map a rejection back to the verb that caused it.
+//
 // Execution is *resumable*: `wait` on a session that still owes work parks
 // the request (waiting_on() says which session) instead of blocking, and
 // the transport resumes advance() once the session idles — that is what
@@ -20,12 +32,46 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "server/server.hpp"
 
 namespace spinn::net {
+
+/// Incremental parser for the `net ... end` block grammar (reference:
+/// docs/SERVER.md).  Feed every line after the opening `net`; returns More
+/// while the block is open, Done once `end` arrived and the description
+/// validated (take() then yields it), Error with the offending token named
+/// in error().  Populations must be declared before a projection
+/// references them — which the canonical encoding always satisfies — so
+/// reference errors surface on the offending `proj` line, not at `end`.
+class NetParser {
+ public:
+  enum class Status { More, Done, Error };
+
+  Status feed(const std::string& line);
+  const std::string& error() const { return error_; }
+
+  /// The validated description; call once, after Done.
+  std::shared_ptr<const neural::NetworkDescription> take();
+
+ private:
+  Status fail(const std::string& why);
+  Status parse_pop(const std::vector<std::string>& tokens);
+  Status parse_proj(const std::vector<std::string>& tokens);
+
+  neural::NetworkDescription desc_;
+  std::string error_;
+};
+
+/// Canonical wire encoding of a description: the whole block — `net`, one
+/// `pop`/`proj` line per element, `end`.  Lossless: doubles are emitted as
+/// shortest round-trip decimals and defaults are omitted, so
+/// encode(parse(encode(d))) == encode(d) byte-for-byte (the fuzz suite
+/// pins this).
+std::vector<std::string> encode_net(const neural::NetworkDescription& desc);
 
 /// One request frame being executed against a SessionServer.
 class Request {
@@ -52,7 +98,13 @@ class Request {
 
  private:
   void respond(const std::string& block);
+  /// Error response for the line at `line`: `err <reason>`, prefixed with
+  /// `@<1-based line>` in a batch so rejections are mappable.
+  void fail_at(std::size_t line, const std::string& reason);
+  void fail(const std::string& reason) { fail_at(next_line_, reason); }
   void exec_open(const std::vector<std::string>& tokens);
+  /// One line of an open `net` block; consumes the line.
+  void exec_net_line(const std::string& line);
   bool resolve_id(const std::string& token, server::SessionId* id) const;
 
   server::SessionServer& srv_;
@@ -62,6 +114,13 @@ class Request {
   server::SessionId waiting_ = server::kInvalidSession;
   std::string response_;
   bool done_ = false;
+  // `net` block state: the in-flight parser, the line the block opened at
+  // (for truncation errors), whether the block already failed (remaining
+  // lines are skipped to `end` without responses), and the `@` binding.
+  std::unique_ptr<NetParser> net_parser_;
+  std::size_t net_line_ = 0;
+  bool net_failed_ = false;
+  std::shared_ptr<const neural::NetworkDescription> batch_net_;
 };
 
 /// Render a drained spike stream as a response block: `spikes <n>` then one

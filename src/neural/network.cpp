@@ -1,5 +1,10 @@
 #include "neural/network.hpp"
 
+#include <algorithm>
+#include <cmath>
+
+#include "neural/synapse.hpp"
+
 namespace spinn::neural {
 
 PopulationId Network::add_population(Population p) {
@@ -78,6 +83,292 @@ std::uint64_t Network::total_neurons() const {
   std::uint64_t total = 0;
   for (const auto& p : populations_) total += p.size;
   return total;
+}
+
+// ---- Declarative descriptions ----------------------------------------------
+
+bool default_record(NeuronModel model) {
+  return model != NeuronModel::PoissonSource;
+}
+
+int population_index(const NetworkDescription& desc,
+                     const std::string& name) {
+  for (std::size_t i = 0; i < desc.populations.size(); ++i) {
+    if (desc.populations[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+PopulationDesc make_population(std::string name, NeuronModel model,
+                               std::uint32_t size) {
+  PopulationDesc p;
+  p.name = std::move(name);
+  p.model = model;
+  p.size = size;
+  p.record = default_record(model);
+  return p;
+}
+
+ProjectionDesc make_projection(std::string pre, std::string post,
+                               Connector connector, ValueDist weight,
+                               ValueDist delay_ms, bool inhibitory) {
+  ProjectionDesc proj;
+  proj.pre = std::move(pre);
+  proj.post = std::move(post);
+  proj.connector = connector;
+  proj.weight = weight;
+  proj.delay_ms = delay_ms;
+  proj.inhibitory = inhibitory;
+  return proj;
+}
+
+namespace {
+
+bool valid_name(const std::string& name) {
+  if (name.empty() || name.size() > kMaxNameLength) return false;
+  for (const char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == '-' ||
+                    ch == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Finite and inside [lo, hi] — a single predicate so every parameter
+/// bound rejects NaN the same way (NaN fails every comparison).
+bool in_range(double v, double lo, double hi) {
+  return std::isfinite(v) && v >= lo && v <= hi;
+}
+
+/// Expected synapses of one projection from connector statistics.
+double expected_pairs(const NetworkDescription& desc,
+                      const ProjectionDesc& proj) {
+  const int pre_i = population_index(desc, proj.pre);
+  const int post_i = population_index(desc, proj.post);
+  if (pre_i < 0 || post_i < 0) return 0.0;
+  const double pre =
+      static_cast<double>(desc.populations[static_cast<std::size_t>(pre_i)]
+                              .size);
+  const double post =
+      static_cast<double>(desc.populations[static_cast<std::size_t>(post_i)]
+                              .size);
+  const bool recurrent = pre_i == post_i && !proj.connector.allow_self;
+  switch (proj.connector.kind) {
+    case ConnectorKind::OneToOne:
+      return std::min(pre, post);
+    case ConnectorKind::AllToAll:
+      return pre * post - (recurrent ? std::min(pre, post) : 0.0);
+    case ConnectorKind::FixedProbability:
+      return proj.connector.probability *
+             (pre * post - (recurrent ? std::min(pre, post) : 0.0));
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::uint64_t estimated_synapses(const NetworkDescription& desc) {
+  // Ceil per projection, so fractional expectations round against the
+  // client (a p=0 projection still charges 0 — the mean really is zero).
+  // Sizes are capped at 2^20 and projections at 2^10, so each term stays
+  // below 2^40: representable in a double, far from uint64 wrap.
+  std::uint64_t total = 0;
+  for (const auto& proj : desc.projections) {
+    total +=
+        static_cast<std::uint64_t>(std::ceil(expected_pairs(desc, proj)));
+  }
+  return total;
+}
+
+bool validate(const NetworkDescription& desc, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (desc.populations.empty()) return fail("no populations described");
+  if (desc.populations.size() > kMaxPopulations) {
+    return fail("too many populations (cap " +
+                std::to_string(kMaxPopulations) + ")");
+  }
+  if (desc.projections.size() > kMaxProjections) {
+    return fail("too many projections (cap " +
+                std::to_string(kMaxProjections) + ")");
+  }
+  for (std::size_t i = 0; i < desc.populations.size(); ++i) {
+    const PopulationDesc& p = desc.populations[i];
+    const std::string where = "population '" + p.name + "': ";
+    if (!valid_name(p.name)) {
+      return fail("population name '" + p.name +
+                  "' must be 1-" + std::to_string(kMaxNameLength) +
+                  " chars of [A-Za-z0-9_.-]");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (desc.populations[j].name == p.name) {
+        return fail("duplicate population name '" + p.name + "'");
+      }
+    }
+    if (p.size == 0 || p.size > kMaxPopulationSize) {
+      return fail(where + "size must be in [1, " +
+                  std::to_string(kMaxPopulationSize) + "]");
+    }
+    switch (p.model) {
+      case NeuronModel::Lif:
+        if (!in_range(p.v_rest, -60000.0, 60000.0) ||
+            !in_range(p.v_reset, -60000.0, 60000.0) ||
+            !in_range(p.v_thresh, -60000.0, 60000.0)) {
+          return fail(where + "membrane potentials must be finite and in "
+                              "[-60000, 60000]");
+        }
+        if (!in_range(p.decay, 0.0, 1.0)) {
+          return fail(where + "decay must be in [0, 1]");
+        }
+        if (!in_range(p.r_scale, 0.0, 4096.0)) {
+          return fail(where + "r_scale must be in [0, 4096]");
+        }
+        if (p.refractory > 255) {
+          return fail(where + "refractory must be <= 255 ticks");
+        }
+        break;
+      case NeuronModel::Izhikevich:
+        if (!in_range(p.a, -1000.0, 1000.0) ||
+            !in_range(p.b, -1000.0, 1000.0) ||
+            !in_range(p.c, -60000.0, 60000.0) ||
+            !in_range(p.d, -60000.0, 60000.0)) {
+          return fail(where + "izhikevich parameters out of range");
+        }
+        break;
+      case NeuronModel::PoissonSource:
+        if (!in_range(p.rate_hz, 0.0, kMaxRateHz)) {
+          return fail(where + "rate must be in [0, " +
+                      std::to_string(static_cast<long long>(kMaxRateHz)) +
+                      "] Hz");
+        }
+        break;
+      case NeuronModel::SpikeSourceArray: {
+        if (p.schedule.size() != p.size) {
+          return fail(where + "schedule has " +
+                      std::to_string(p.schedule.size()) +
+                      " spike trains for size " + std::to_string(p.size));
+        }
+        std::size_t entries = 0;
+        for (const auto& train : p.schedule) {
+          entries += train.size();
+          for (const std::uint32_t tick : train) {
+            if (tick > kMaxScheduleTick) {
+              return fail(where + "schedule tick " + std::to_string(tick) +
+                          " exceeds the cap " +
+                          std::to_string(kMaxScheduleTick));
+            }
+          }
+        }
+        if (entries > kMaxScheduleEntries) {
+          return fail(where + "schedule has " + std::to_string(entries) +
+                      " entries, cap is " +
+                      std::to_string(kMaxScheduleEntries));
+        }
+        break;
+      }
+    }
+  }
+  for (const ProjectionDesc& proj : desc.projections) {
+    const std::string where =
+        "projection " + proj.pre + "->" + proj.post + ": ";
+    if (population_index(desc, proj.pre) < 0) {
+      return fail("projection references unknown population '" + proj.pre +
+                  "'");
+    }
+    if (population_index(desc, proj.post) < 0) {
+      return fail("projection references unknown population '" + proj.post +
+                  "'");
+    }
+    if (proj.connector.kind == ConnectorKind::FixedProbability &&
+        !in_range(proj.connector.probability, 0.0, 1.0)) {
+      return fail(where + "probability must be in [0, 1]");
+    }
+    if (proj.connector.kind == ConnectorKind::OneToOne &&
+        !proj.connector.allow_self) {
+      // The loader always wires the diagonal for one-to-one; a description
+      // asking to exclude it would be silently ignored — reject instead.
+      return fail(where +
+                  "one_to_one cannot exclude self-connections (the "
+                  "diagonal is the connector)");
+    }
+    if (!in_range(proj.weight.lo, 0.0, kMaxWeight) ||
+        !in_range(proj.weight.hi, 0.0, kMaxWeight) ||
+        proj.weight.lo > proj.weight.hi) {
+      return fail(where + "weight must be in [0, " +
+                  std::to_string(static_cast<int>(kMaxWeight)) +
+                  "] with lo <= hi (use inh=1 for inhibition)");
+    }
+    if (!in_range(proj.delay_ms.lo, 0.0, kMaxDelayTicks) ||
+        !in_range(proj.delay_ms.hi, 0.0, kMaxDelayTicks) ||
+        proj.delay_ms.lo > proj.delay_ms.hi) {
+      return fail(where + "delay must be in [0, " +
+                  std::to_string(kMaxDelayTicks) + "] ms with lo <= hi");
+    }
+    if (proj.stdp.enabled) {
+      if (proj.inhibitory) {
+        return fail(where + "plastic projections are excitatory only");
+      }
+      if (!in_range(proj.stdp.a_plus, 0.0, kMaxWeight) ||
+          !in_range(proj.stdp.a_minus, 0.0, kMaxWeight) ||
+          !in_range(proj.stdp.w_max, 0.0, kMaxWeight) ||
+          proj.stdp.window_ticks > kMaxStdpWindowTicks) {
+        return fail(where + "stdp parameters out of range");
+      }
+    }
+  }
+  const std::uint64_t synapses = estimated_synapses(desc);
+  if (synapses > kMaxDescribedSynapses) {
+    return fail("description expands to ~" + std::to_string(synapses) +
+                " synapses, cap is " +
+                std::to_string(kMaxDescribedSynapses));
+  }
+  return true;
+}
+
+bool build(const NetworkDescription& desc, Network* net,
+           std::string* error) {
+  if (!validate(desc, error)) return false;
+  *net = Network{};
+  for (const PopulationDesc& pd : desc.populations) {
+    Population p;
+    p.name = pd.name;
+    p.size = pd.size;
+    p.model = pd.model;
+    p.lif.v_rest = Accum::from_double(pd.v_rest);
+    p.lif.v_reset = Accum::from_double(pd.v_reset);
+    p.lif.v_thresh = Accum::from_double(pd.v_thresh);
+    p.lif.decay = Accum::from_double(pd.decay);
+    p.lif.r_scale = Accum::from_double(pd.r_scale);
+    p.lif.refractory_ticks = static_cast<std::uint8_t>(pd.refractory);
+    p.izh.a = Accum::from_double(pd.a);
+    p.izh.b = Accum::from_double(pd.b);
+    p.izh.c = Accum::from_double(pd.c);
+    p.izh.d = Accum::from_double(pd.d);
+    p.poisson_rate_hz =
+        pd.model == NeuronModel::PoissonSource ? pd.rate_hz : 0.0;
+    if (pd.model == NeuronModel::SpikeSourceArray) {
+      p.spike_schedule = pd.schedule;
+    }
+    p.record = pd.record;
+    net->add_population(std::move(p));
+  }
+  for (const ProjectionDesc& proj : desc.projections) {
+    const auto pre =
+        static_cast<PopulationId>(population_index(desc, proj.pre));
+    const auto post =
+        static_cast<PopulationId>(population_index(desc, proj.post));
+    if (proj.stdp.enabled) {
+      net->connect_plastic(pre, post, proj.connector, proj.weight,
+                           proj.delay_ms, proj.stdp);
+    } else {
+      net->connect(pre, post, proj.connector, proj.weight, proj.delay_ms,
+                   proj.inhibitory);
+    }
+  }
+  return true;
 }
 
 }  // namespace spinn::neural

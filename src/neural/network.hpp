@@ -2,6 +2,17 @@
 // This is the model a neuroscientist writes (PyNN-style); the map module
 // places it onto chips/cores, generates multicast routing tables and builds
 // the SDRAM synaptic rows.
+//
+// Two layers live here:
+//  * `Network` — the compiled object the mapper consumes (id-based
+//    references, fixed-point parameters).
+//  * `NetworkDescription` — the declarative form a *client* writes
+//    (name-based references, plain-double parameters: exactly what the
+//    wire carries).  build() is the single compilation point shared by
+//    every producer — the socket protocol's `net` parser, the typed
+//    net::NetBuilder, and the server's built-in apps — so one description
+//    yields a bit-identical Network whoever authored it and however it
+//    travelled.
 #pragma once
 
 #include <cstdint>
@@ -115,5 +126,103 @@ class Network {
   std::vector<Population> populations_;
   std::vector<Projection> projections_;
 };
+
+// ---- Declarative descriptions (the wire model) -----------------------------
+
+/// One population as a client describes it.  Parameters are plain doubles —
+/// the representation the wire carries — and build() quantises them to
+/// S16.15 exactly once, so wire-submitted and embedded construction of the
+/// same description agree bit-for-bit.  Only the fields for `model` are
+/// meaningful; the rest keep their defaults (and stay off the wire).
+struct PopulationDesc {
+  std::string name;
+  NeuronModel model = NeuronModel::Lif;
+  std::uint32_t size = 0;
+  // LIF (defaults mirror LifParams' construction doubles).
+  double v_rest = -65.0;
+  double v_reset = -70.0;
+  double v_thresh = -50.0;
+  double decay = 0.9048;
+  double r_scale = 1.0;
+  std::uint32_t refractory = 2;
+  // Izhikevich (regular-spiking defaults, as IzhParams).
+  double a = 0.02;
+  double b = 0.2;
+  double c = -65.0;
+  double d = 8.0;
+  // PoissonSource rate (Hz per neuron).
+  double rate_hz = 0.0;
+  // SpikeSourceArray schedule: ms-tick trains, exactly `size` of them.
+  std::vector<std::vector<std::uint32_t>> schedule;
+  bool record = true;
+};
+
+/// One projection, referencing populations by name.
+struct ProjectionDesc {
+  std::string pre;
+  std::string post;
+  Connector connector;
+  ValueDist weight = ValueDist::fixed(1.0);
+  ValueDist delay_ms = ValueDist::fixed(1.0);
+  bool inhibitory = false;
+  StdpParams stdp;
+};
+
+struct NetworkDescription {
+  std::vector<PopulationDesc> populations;
+  std::vector<ProjectionDesc> projections;
+};
+
+/// Whether populations of `model` record by default — mirrors the Network
+/// convenience builders: stimuli you scheduled (spike sources) and neurons
+/// you model (LIF/Izhikevich) record, background noise (Poisson) does not.
+bool default_record(NeuronModel model);
+
+/// Description bounds enforced by validate().  These are *description*
+/// sanity caps (a malformed or hostile submission must fail fast, before
+/// any elaboration allocates); whether a valid description is admitted is
+/// the server's cost model, and whether it fits a machine is placement's.
+inline constexpr std::size_t kMaxPopulations = 256;
+inline constexpr std::size_t kMaxProjections = 1024;
+inline constexpr std::uint32_t kMaxPopulationSize = 1u << 20;
+inline constexpr std::size_t kMaxNameLength = 32;
+inline constexpr double kMaxWeight = 255.0;  // Synapse::pack_weight ceiling
+inline constexpr double kMaxRateHz = 1e6;
+inline constexpr std::uint32_t kMaxScheduleTick = 100'000'000;  // ms ticks
+inline constexpr std::size_t kMaxScheduleEntries = 1u << 20;
+inline constexpr std::uint64_t kMaxDescribedSynapses = 1u << 24;
+inline constexpr std::uint32_t kMaxStdpWindowTicks = 100'000;
+
+/// Index of the population named `name`, or -1.  Names are unique in a
+/// valid description, so the first match is the match.
+int population_index(const NetworkDescription& desc, const std::string& name);
+
+/// The shared construction points every description producer (wire parser,
+/// net::NetBuilder, the server's built-in apps) goes through, so
+/// model-dependent initialisation — today just `record`'s default — can
+/// never diverge between them.
+PopulationDesc make_population(std::string name, NeuronModel model,
+                               std::uint32_t size);
+ProjectionDesc make_projection(std::string pre, std::string post,
+                               Connector connector, ValueDist weight,
+                               ValueDist delay_ms, bool inhibitory = false);
+
+/// Validate a description: population names (charset, length, uniqueness),
+/// size/parameter/probability/weight/delay bounds, projection references,
+/// and the estimated-synapse cap.  True when build() will succeed;
+/// otherwise false with the offending element and token named in *error.
+bool validate(const NetworkDescription& desc, std::string* error);
+
+/// Expected synapse count from connector statistics alone — no elaboration,
+/// no RNG: all_to_all counts pairs, one_to_one the shorter side,
+/// fixed_probability the mean ceil(p × pairs).  This is the size term the
+/// server's admission cost charges before committing to a build.
+std::uint64_t estimated_synapses(const NetworkDescription& desc);
+
+/// Compile a description into a Network.  Pure: the same description gives
+/// the same Network (all stochastic elaboration happens later, in the
+/// loader, under the machine seed).  Returns false with a reason in *error
+/// when the description does not validate; *net is then unspecified.
+bool build(const NetworkDescription& desc, Network* net, std::string* error);
 
 }  // namespace spinn::neural

@@ -45,8 +45,13 @@ SessionId SessionServer::admit(const SessionSpec& spec, TimeNs initial_run,
       ++stats_.rejected;
       ++stats_.rejected_cost;
       if (error != nullptr) {
-        *error = "session cost " + std::to_string(cost) +
-                 " exceeds the whole budget " +
+        // Name the size term: a client whose net was shed needs to know
+        // whether to shrink the machine, the connectivity or the declared
+        // bio time.
+        *error = "session cost " + std::to_string(cost) + " (footprint " +
+                 std::to_string(admission_footprint(spec)) + " incl ~" +
+                 std::to_string(estimated_synapses(spec)) +
+                 " synapses, per declared ms) exceeds the whole budget " +
                  std::to_string(cfg_.cost_budget);
       }
       return kInvalidSession;

@@ -11,7 +11,8 @@
 // speaks a line protocol on stdio); the subsystem is the point.
 //
 // Capacity: admission is cost-aware.  Every session carries an estimated
-// cost — spec footprint × declared biological time (admission_cost) — and
+// cost — (spec footprint + the network's estimated synapse count) ×
+// declared biological time (admission_cost) — and
 // the sum of resident costs is budgeted against `cost_budget` alongside the
 // `max_sessions` count cap.  Opening a session that would overflow either
 // limit evicts idle sessions (state Ready/Failed with no queued work) in
@@ -44,8 +45,9 @@ struct ServerConfig {
   std::uint32_t workers = 2;
   /// Resident-session cap; see eviction note above.
   std::size_t max_sessions = 8;
-  /// Resident cost budget in admission_cost units (spec footprint ×
-  /// declared bio ms).  0 = unlimited: only the count cap applies.
+  /// Resident cost budget in admission_cost units ((spec footprint +
+  /// estimated synapses) × declared bio ms).  0 = unlimited: only the
+  /// count cap applies.
   std::uint64_t cost_budget = 0;
   /// Biological time serviced per scheduling quantum.  Smaller = fairer
   /// interleaving and fresher drains; larger = less locking overhead.

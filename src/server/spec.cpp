@@ -1,77 +1,73 @@
 #include "server/spec.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <cerrno>
 #include <charconv>
-#include <cstdlib>
 #include <limits>
+#include <stdexcept>
 
 namespace spinn::server {
 
 namespace {
 
-// Each app is a deterministic Network builder.  Sizes are kept small enough
-// that a session services in milliseconds; width/height/neurons_per_core in
-// the spec scale the machine around them.
+// Each app is a deterministic NetworkDescription — the exact declarative
+// form a wire-submitted net arrives in, compiled through the same
+// neural::build.  Sizes are kept small enough that a session services in
+// milliseconds; width/height/neurons_per_core in the spec scale the
+// machine around them.
 
-neural::Network app_chain() {
+neural::NetworkDescription app_chain() {
   // A spike-source chain: scheduled stimuli (ms ticks 2, 8 and 5) fan into a
   // small LIF population.  The lightest app — first spike within ~3 ms.
-  neural::Network net;
-  const auto src = net.add_spike_source("src", {{2, 8}, {5}});
-  const auto dst = net.add_lif("dst", 4);
-  net.connect(src, dst, neural::Connector::all_to_all(),
-              neural::ValueDist::fixed(30.0), neural::ValueDist::fixed(1.0));
-  return net;
+  neural::NetworkDescription desc;
+  auto src = neural::make_population("src", neural::NeuronModel::SpikeSourceArray, 2);
+  src.schedule = {{2, 8}, {5}};
+  desc.populations.push_back(std::move(src));
+  desc.populations.push_back(neural::make_population("dst", neural::NeuronModel::Lif, 4));
+  desc.projections.push_back(
+      neural::make_projection("src", "dst", neural::Connector::all_to_all(),
+                neural::ValueDist::fixed(30.0),
+                neural::ValueDist::fixed(1.0)));
+  return desc;
 }
 
-neural::Network app_noise() {
+neural::NetworkDescription app_noise() {
   // Poisson noise driving an excitatory/inhibitory pair — the quickstart
   // network at session scale.
-  neural::Network net;
-  const auto noise = net.add_poisson("noise", 64, 40.0);
-  const auto exc = net.add_lif("exc", 128);
-  const auto inh = net.add_lif("inh", 32);
-  net.connect(noise, exc, neural::Connector::fixed_probability(0.2),
-              neural::ValueDist::uniform(4.0, 8.0),
-              neural::ValueDist::fixed(1.0));
-  net.connect(exc, inh, neural::Connector::fixed_probability(0.1),
-              neural::ValueDist::fixed(3.0),
-              neural::ValueDist::uniform(1.0, 4.0));
-  net.connect(inh, exc, neural::Connector::fixed_probability(0.1),
-              neural::ValueDist::fixed(6.0), neural::ValueDist::fixed(1.0),
-              /*inhibitory=*/true);
-  return net;
+  neural::NetworkDescription desc;
+  auto noise = neural::make_population("noise", neural::NeuronModel::PoissonSource, 64);
+  noise.rate_hz = 40.0;
+  desc.populations.push_back(std::move(noise));
+  desc.populations.push_back(neural::make_population("exc", neural::NeuronModel::Lif, 128));
+  desc.populations.push_back(neural::make_population("inh", neural::NeuronModel::Lif, 32));
+  desc.projections.push_back(
+      neural::make_projection("noise", "exc", neural::Connector::fixed_probability(0.2),
+                neural::ValueDist::uniform(4.0, 8.0),
+                neural::ValueDist::fixed(1.0)));
+  desc.projections.push_back(
+      neural::make_projection("exc", "inh", neural::Connector::fixed_probability(0.1),
+                neural::ValueDist::fixed(3.0),
+                neural::ValueDist::uniform(1.0, 4.0)));
+  desc.projections.push_back(
+      neural::make_projection("inh", "exc", neural::Connector::fixed_probability(0.1),
+                neural::ValueDist::fixed(6.0), neural::ValueDist::fixed(1.0),
+                /*inhibitory=*/true));
+  return desc;
 }
 
-neural::Network app_stdp() {
+neural::NetworkDescription app_stdp() {
   // Poisson-driven plastic projection: exercises STDP row write-backs.
-  neural::Network net;
-  const auto src = net.add_poisson("src", 48, 60.0);
-  const auto dst = net.add_lif("dst", 48);
-  net.connect_plastic(src, dst, neural::Connector::fixed_probability(0.3),
-                      neural::ValueDist::fixed(12.0),
-                      neural::ValueDist::fixed(1.0), neural::StdpParams{});
-  return net;
-}
-
-/// Strict unsigned parse with an inclusive upper bound: rejects signs
-/// (strtoull would silently wrap "-1"), trailing junk and out-of-range
-/// values, so a bad request becomes an error instead of a truncated spec.
-bool parse_u64(const std::string& text, std::uint64_t max,
-               std::uint64_t* out) {
-  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
-    return false;
-  }
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
-  if (end == text.c_str() || *end != '\0' || errno == ERANGE || v > max) {
-    return false;
-  }
-  *out = v;
-  return true;
+  neural::NetworkDescription desc;
+  auto src = neural::make_population("src", neural::NeuronModel::PoissonSource, 48);
+  src.rate_hz = 60.0;
+  desc.populations.push_back(std::move(src));
+  desc.populations.push_back(neural::make_population("dst", neural::NeuronModel::Lif, 48));
+  auto proj = neural::make_projection("src", "dst",
+                        neural::Connector::fixed_probability(0.3),
+                        neural::ValueDist::fixed(12.0),
+                        neural::ValueDist::fixed(1.0));
+  proj.stdp.enabled = true;
+  desc.projections.push_back(std::move(proj));
+  return desc;
 }
 
 bool parse_bool(const std::string& text, bool* out) {
@@ -100,6 +96,15 @@ bool known_app(const std::string& name) {
   return false;
 }
 
+const neural::NetworkDescription& app_description(const std::string& name) {
+  static const neural::NetworkDescription chain = app_chain();
+  static const neural::NetworkDescription noise = app_noise();
+  static const neural::NetworkDescription stdp = app_stdp();
+  if (name == "chain") return chain;
+  if (name == "stdp") return stdp;
+  return noise;
+}
+
 bool validate(const SessionSpec& spec, std::string* error) {
   const auto fail = [&](const std::string& why) {
     if (error != nullptr) *error = why;
@@ -120,8 +125,32 @@ bool validate(const SessionSpec& spec, std::string* error) {
   if (static_cast<std::uint32_t>(spec.width) * spec.height > 65536) {
     return fail("machine capped at 65536 chips per session");
   }
+  if (spec.net != nullptr) {
+    std::string net_error;
+    if (!neural::validate(*spec.net, &net_error)) {
+      return fail("inline network: " + net_error);
+    }
+    return true;
+  }
   if (!known_app(spec.app)) return fail("unknown app '" + spec.app + "'");
   return true;
+}
+
+std::uint64_t estimated_synapses(const SessionSpec& spec) {
+  return neural::estimated_synapses(spec.net != nullptr
+                                        ? *spec.net
+                                        : app_description(spec.app));
+}
+
+std::uint64_t admission_footprint(const SessionSpec& spec) {
+  // Machine units plus the network's expected synapse count: the synapse
+  // term is what makes a 10-neuron all-to-all blob and a 10-neuron chain
+  // cost differently — machine dimensions alone can't see connectivity.
+  // Both terms are bounded (65536 chips × 20 cores × 2^20 neurons ≈ 2^50;
+  // synapses validated <= 2^24), so the sum cannot wrap.
+  return static_cast<std::uint64_t>(spec.width) * spec.height *
+             spec.cores_per_chip * spec.neurons_per_core +
+         estimated_synapses(spec);
 }
 
 std::uint64_t admission_cost(const SessionSpec& spec, TimeNs initial_run) {
@@ -129,9 +158,7 @@ std::uint64_t admission_cost(const SessionSpec& spec, TimeNs initial_run) {
   if (bio <= 0) return 0;
   const std::uint64_t bio_ms =
       (static_cast<std::uint64_t>(bio) + kMillisecond - 1) / kMillisecond;
-  const std::uint64_t footprint = static_cast<std::uint64_t>(spec.width) *
-                                  spec.height * spec.cores_per_chip *
-                                  spec.neurons_per_core;
+  const std::uint64_t footprint = admission_footprint(spec);
   // Saturate: a 65536-chip × 2^20-neuron spec declaring 1e9 ms is ~2^70
   // cost units.  Wrapping would slip a budget-dwarfing session past
   // admission; saturation makes it exceed any finite budget instead.
@@ -160,9 +187,17 @@ SystemConfig system_config(const SessionSpec& spec) {
 }
 
 neural::Network build_network(const SessionSpec& spec) {
-  if (spec.app == "chain") return app_chain();
-  if (spec.app == "stdp") return app_stdp();
-  return app_noise();
+  neural::Network net;
+  std::string error;
+  const neural::NetworkDescription& desc =
+      spec.net != nullptr ? *spec.net : app_description(spec.app);
+  if (!neural::build(desc, &net, &error)) {
+    // Admission validates before any build, so this only fires for an
+    // embedded caller who skipped validate(); sessions catch it and report
+    // a failed build.
+    throw std::invalid_argument("invalid network description: " + error);
+  }
+  return net;
 }
 
 std::vector<neural::SpikeRecorder::Event> run_standalone(
@@ -173,6 +208,19 @@ std::vector<neural::SpikeRecorder::Event> run_standalone(
   if (!load.ok) return {};
   sys.run(duration);
   return sys.spikes().events();
+}
+
+bool parse_u64_strict(const std::string& text, std::uint64_t max,
+                      std::uint64_t* out) {
+  // from_chars: rejects signs, whitespace and locale surprises; the
+  // explicit end check rejects trailing junk ("12x" is an error, not 12).
+  if (text.empty() || text[0] < '0' || text[0] > '9') return false;
+  std::uint64_t v = 0;
+  const char* const end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, v);
+  if (ec != std::errc{} || ptr != end || v > max) return false;
+  *out = v;
+  return true;
 }
 
 bool parse_run_ms(const std::string& text, TimeNs* duration) {
@@ -214,7 +262,7 @@ bool apply_kv(SessionSpec& spec, const std::string& key,
   std::uint64_t n = 0;
   for (const Bound& b : kBounds) {
     if (key != b.key) continue;
-    if (!parse_u64(value, b.max, &n)) {
+    if (!parse_u64_strict(value, b.max, &n)) {
       return fail("'" + key + "' expects an unsigned integer <= " +
                   std::to_string(b.max) + ", got '" + value + "'");
     }

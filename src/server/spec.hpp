@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,8 +33,14 @@ struct SessionSpec {
   bool scatter = false;
 
   // Application ------------------------------------------------------------
-  /// One of app_names(): "chain", "noise" or "stdp".
+  /// One of app_names(): "chain", "noise" or "stdp".  Ignored when `net`
+  /// is set.
   std::string app = "noise";
+  /// Inline network description: an arbitrary client-described net (the
+  /// wire `net` verb, or an embedded caller) instead of a built-in app.
+  /// Shared, immutable — specs copy cheaply and the description cannot
+  /// drift between admission costing and the build.
+  std::shared_ptr<const neural::NetworkDescription> net;
   /// Run the distributed boot sequence before loading.
   bool boot = false;
   /// How much biological time the client intends to run.  Purely an
@@ -51,25 +58,41 @@ struct SessionSpec {
 const std::vector<std::string>& app_names();
 bool known_app(const std::string& name);
 
-/// Validate a spec (dimensions, app name).  Returns true when compilable;
-/// otherwise false with a reason in *error.
+/// The description a built-in app compiles from — the same declarative
+/// form a wire-submitted net arrives in, so built-in and client-described
+/// sessions share one compilation path (neural::build).  Unknown names
+/// return the "noise" description (build_network's historic fallback).
+const neural::NetworkDescription& app_description(const std::string& name);
+
+/// Validate a spec (dimensions, app name or inline description).  Returns
+/// true when compilable; otherwise false with a reason in *error.
 bool validate(const SessionSpec& spec, std::string* error);
 
-/// Estimated admission cost of a session: spec footprint (chips × cores ×
-/// neurons per core) × declared biological milliseconds (the larger of
-/// spec.bio_hint and `initial_run`, rounded up to a whole millisecond).
-/// A spec with no declared bio time costs 0 — admission then degenerates
-/// to the resident-count cap.  SessionServer budgets the sum of resident
-/// costs against ServerConfig::cost_budget.
+/// The per-millisecond admission charge of a spec: machine footprint
+/// (chips × cores × neurons per core) plus the network's estimated synapse
+/// count (from connector statistics — no elaboration happens at admission
+/// time).  Exposed so error messages and tests can show the breakdown.
+std::uint64_t admission_footprint(const SessionSpec& spec);
+std::uint64_t estimated_synapses(const SessionSpec& spec);
+
+/// Estimated admission cost of a session: admission_footprint ×
+/// declared biological milliseconds (the larger of spec.bio_hint and
+/// `initial_run`, rounded up to a whole millisecond).  A spec with no
+/// declared bio time costs 0 — admission then degenerates to the
+/// resident-count cap.  SessionServer budgets the sum of resident costs
+/// against ServerConfig::cost_budget.
 std::uint64_t admission_cost(const SessionSpec& spec, TimeNs initial_run = 0);
 
 /// The SystemConfig a spec compiles to (shared by sessions and standalone
 /// reference runs, so both build byte-identical machines).
 SystemConfig system_config(const SessionSpec& spec);
 
-/// The network a spec's app describes.  Pure function of the spec: all
-/// stochastic elaboration (weights, connectivity draws) happens later in the
-/// loader under the machine seed.
+/// The network a spec describes: the inline description when `spec.net` is
+/// set, the app's description otherwise — compiled through neural::build
+/// either way.  Pure function of the spec: all stochastic elaboration
+/// (weights, connectivity draws) happens later in the loader under the
+/// machine seed.  Throws std::invalid_argument for a description that does
+/// not validate (sessions surface it as a failed build).
 neural::Network build_network(const SessionSpec& spec);
 
 /// Reference run: the spec end-to-end on a private System, no server
@@ -89,5 +112,13 @@ bool apply_kv(SessionSpec& spec, const std::string& key,
 /// non-positive or out-of-range input — the one grammar both the stdio
 /// repl and the socket transport accept.
 bool parse_run_ms(const std::string& text, TimeNs* duration);
+
+/// Strict whole-token unsigned parse with an inclusive upper bound — the
+/// one hardening rule every wire grammar shares (spec `key=value` pairs
+/// and the `net` block): rejects signs, leading/trailing junk, overflow
+/// and out-of-range values, so a bad request becomes an error instead of
+/// a truncated number.
+bool parse_u64_strict(const std::string& text, std::uint64_t max,
+                      std::uint64_t* out);
 
 }  // namespace spinn::server

@@ -170,9 +170,10 @@ TEST(NetServer, BatchDollarWithoutOpenFailsCleanly) {
       "close $",
   }));
   ASSERT_EQ(blocks.size(), 3u);
-  EXPECT_EQ(blocks[0], "err unknown app 'bogus'");
-  EXPECT_EQ(blocks[1], "err no successful open in this batch");
-  EXPECT_EQ(blocks[2], "err no successful open in this batch");
+  // Batch errors carry the 1-based line index of the failing command.
+  EXPECT_EQ(blocks[0], "err @1 unknown app 'bogus'");
+  EXPECT_EQ(blocks[1], "err @2 no successful open in this batch");
+  EXPECT_EQ(blocks[2], "err @3 no successful open in this batch");
 }
 
 // A failed open UNBINDS `$`: commands after it must not silently fall
@@ -188,8 +189,8 @@ TEST(NetServer, FailedOpenUnbindsDollar) {
   ASSERT_EQ(blocks.size(), 3u);
   server::SessionId id = server::kInvalidSession;
   ASSERT_TRUE(parse_open_id(blocks[0], &id));
-  EXPECT_EQ(blocks[1], "err unknown app 'bogus'");
-  EXPECT_EQ(blocks[2], "err no successful open in this batch");
+  EXPECT_EQ(blocks[1], "err @2 unknown app 'bogus'");
+  EXPECT_EQ(blocks[2], "err @3 no successful open in this batch");
   // The first session is alive and well.
   const std::string status = client.request("status " + std::to_string(id));
   EXPECT_EQ(status.rfind("id=", 0), 0u) << status;

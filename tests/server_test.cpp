@@ -330,18 +330,27 @@ TEST(SessionServer, ShutdownWithLiveSessionsIsClean) {
 
 // ---- cost-aware admission --------------------------------------------------
 
-// The admission cost model itself: footprint × declared bio ms, 0 when no
-// bio time is declared.
-TEST(CostAdmission, CostIsFootprintTimesDeclaredBioTime) {
-  SessionSpec spec;  // 2x2 chips × 6 cores × 64 neurons = 1536 units
+// The admission cost model itself: (machine footprint + the network's
+// estimated synapse count) × declared bio ms, 0 when no bio time is
+// declared.  The synapse term comes from connector statistics, before any
+// elaboration — a densely-wired net costs more than a sparse one on the
+// same machine.
+TEST(CostAdmission, CostIsFootprintPlusSynapsesTimesDeclaredBioTime) {
+  SessionSpec spec;  // 2x2 chips × 6 cores × 64 neurons = 1536 machine units
+  const std::uint64_t unit = 1536u + estimated_synapses(spec);
+  EXPECT_GT(estimated_synapses(spec), 0u);  // noise is actually wired
+  EXPECT_EQ(admission_footprint(spec), unit);
   EXPECT_EQ(admission_cost(spec), 0u);  // zero-cost: nothing declared
   spec.bio_hint = 10 * kMillisecond;
-  EXPECT_EQ(admission_cost(spec), 1536u * 10u);
+  EXPECT_EQ(admission_cost(spec), unit * 10u);
   // initial_run dominates when larger; partial ms round up.
-  EXPECT_EQ(admission_cost(spec, 20 * kMillisecond), 1536u * 20u);
-  EXPECT_EQ(admission_cost(spec, 20 * kMillisecond + 1), 1536u * 21u);
+  EXPECT_EQ(admission_cost(spec, 20 * kMillisecond), unit * 20u);
+  EXPECT_EQ(admission_cost(spec, 20 * kMillisecond + 1), unit * 21u);
   spec.bio_hint = 0;
-  EXPECT_EQ(admission_cost(spec, 5 * kMillisecond), 1536u * 5u);
+  EXPECT_EQ(admission_cost(spec, 5 * kMillisecond), unit * 5u);
+  // The noise app: 64→128 at p=0.2 (1639 expected, ceil), 128→32 at p=0.1
+  // (410), 32→128 at p=0.1 (410).
+  EXPECT_EQ(estimated_synapses(spec), 1639u + 410u + 410u);
 }
 
 // footprint × bio_ms can exceed 2^64 for valid specs; the cost must
@@ -455,11 +464,13 @@ TEST(CostAdmission, InfeasibleOpenEvictsNothing) {
   ASSERT_TRUE(server.wait(b));
 
   // The newcomer needs more than the whole budget minus the busy share —
-  // infeasible even after evicting both idle sessions.
+  // infeasible even after evicting both idle sessions.  All specs are
+  // chain-shaped so every cost is proportional to declared ms (the synapse
+  // term is identical): budget = 20 ms-units, busy holds 16, the idles 2+2.
   SessionSpec huge = spec_with("chain", 3, sim::EngineKind::Serial);
-  huge.bio_hint = 19 * kMillisecond;  // cost 9.5× budget-unit > 10 - busy
-  SessionSpec busy_spec = spec_with("noise", 4, sim::EngineKind::Serial);
-  busy_spec.bio_hint = 16 * kMillisecond;  // 8 units: leaves 2 spare
+  huge.bio_hint = 19 * kMillisecond;  // 19 > 20 - 16: infeasible
+  SessionSpec busy_spec = spec_with("chain", 4, sim::EngineKind::Serial);
+  busy_spec.bio_hint = 16 * kMillisecond;  // exact fit alongside the idles
   const SessionId busy = server.open(busy_spec);
   ASSERT_NE(busy, kInvalidSession);
   ASSERT_TRUE(server.run(busy, 100 * kMillisecond));  // keep it busy
