@@ -14,13 +14,12 @@
 // socket client sees it, p50/p99.
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "core/spinnaker.hpp"
 #include "harness.hpp"
 
@@ -130,7 +129,7 @@ class ClientPool {
 
   ~ClientPool() {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      spinn::MutexLock lk(&mu_);
       stop_ = true;
     }
     cv_.notify_all();
@@ -143,7 +142,7 @@ class ClientPool {
   std::size_t round(int connections, int depth,
                     BatchFn batch_fn = session_batch) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      spinn::MutexLock lk(&mu_);
       quota_ = kSessionsPerRound / connections;
       depth_ = depth;
       batch_fn_ = batch_fn;
@@ -154,8 +153,8 @@ class ClientPool {
       active_ = connections;
     }
     cv_.notify_all();
-    std::unique_lock<std::mutex> lk(mu_);
-    done_cv_.wait(lk, [&] { return active_ == 0; });
+    spinn::MutexLock lk(&mu_);
+    while (active_ != 0) done_cv_.wait(lk);
     std::size_t total = 0;
     for (int i = 0; i < connections; ++i) {
       total += spikes_[static_cast<std::size_t>(i)];
@@ -171,11 +170,11 @@ class ClientPool {
       int depth = 0;
       BatchFn batch_fn = session_batch;
       {
-        std::unique_lock<std::mutex> lk(mu_);
-        cv_.wait(lk, [&] {
-          return stop_ || (generation_ != seen &&
-                           !done_[static_cast<std::size_t>(index)]);
-        });
+        spinn::MutexLock lk(&mu_);
+        while (!stop_ && (generation_ == seen ||
+                          done_[static_cast<std::size_t>(index)])) {
+          cv_.wait(lk);
+        }
         if (stop_) return;
         seen = generation_;
         quota = quota_;
@@ -187,7 +186,7 @@ class ClientPool {
           static_cast<std::uint64_t>(1 + index * quota), quota, depth,
           batch_fn);
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        spinn::MutexLock lk(&mu_);
         spikes_[static_cast<std::size_t>(index)] = result;
         done_[static_cast<std::size_t>(index)] = true;
         --active_;
@@ -198,17 +197,17 @@ class ClientPool {
 
   std::vector<std::unique_ptr<net::Client>> clients_;
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable done_cv_;
-  std::vector<bool> done_;
-  std::vector<std::size_t> spikes_;
-  std::uint64_t generation_ = 0;
-  int quota_ = 0;
-  int depth_ = 0;
-  BatchFn batch_fn_ = session_batch;
-  int active_ = 0;
-  bool stop_ = false;
+  spinn::Mutex mu_;
+  spinn::CondVar cv_;
+  spinn::CondVar done_cv_;
+  std::vector<bool> done_ SPINN_GUARDED_BY(mu_);
+  std::vector<std::size_t> spikes_ SPINN_GUARDED_BY(mu_);
+  std::uint64_t generation_ SPINN_GUARDED_BY(mu_) = 0;
+  int quota_ SPINN_GUARDED_BY(mu_) = 0;
+  int depth_ SPINN_GUARDED_BY(mu_) = 0;
+  BatchFn batch_fn_ SPINN_GUARDED_BY(mu_) = session_batch;
+  int active_ SPINN_GUARDED_BY(mu_) = 0;
+  bool stop_ SPINN_GUARDED_BY(mu_) = false;
 };
 
 /// Submission + compile latency of a wire-described net: one batch frame

@@ -1,0 +1,153 @@
+// Compile-time lock discipline: Clang Thread Safety Analysis macros and the
+// annotated synchronisation primitives every concurrent subsystem uses.
+//
+// The paper's million-processor argument rests on software that stays correct
+// under massive concurrency.  TSan only verifies the interleavings a test run
+// happens to execute; these annotations make the lock *protocol* itself part
+// of the type system, so a field read without its mutex or a `_locked()`
+// helper called from an unlocked path is rejected at compile time — on every
+// compile, for every path, before any test runs.
+//
+// How it works: each guarded field declares its mutex (`SPINN_GUARDED_BY`),
+// each function declares its lock contract (`SPINN_REQUIRES` for "caller
+// holds it", `SPINN_EXCLUDES` for "caller must not hold it"), and Clang's
+// `-Wthread-safety` checks every access against the declared contracts.  The
+// `tidy` CMake preset (and the CI job of the same name) builds the tree with
+// `-Werror=thread-safety`; GCC and other compilers see empty macros and
+// byte-identical codegen.  docs/CONCURRENCY.md explains the lock hierarchy,
+// the conventions, and how to read a thread-safety diagnostic.
+//
+// Rules of use (enforced by tools/lint_invariants.py):
+//  * No raw std::mutex / std::condition_variable / std::lock_guard /
+//    std::unique_lock outside this header — always spinn::Mutex,
+//    spinn::CondVar and spinn::MutexLock, so every lock site is analysable.
+//  * Condition-variable waits use an explicit `while (predicate) cv.wait(lk)`
+//    loop, not a lambda predicate: the analysis treats lambda bodies as
+//    separate unannotated functions, so a predicate lambda touching guarded
+//    state would defeat the check.
+//  * SPINN_NO_THREAD_SAFETY_ANALYSIS is a last resort and every use must
+//    carry a comment justifying why the analysis cannot see the invariant.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// ---- Attribute macros ------------------------------------------------------
+// Standard Clang TSA spellings (see clang.llvm.org/docs/ThreadSafetyAnalysis):
+// expand to __attribute__((...)) under Clang, to nothing elsewhere, so the
+// annotations are free on GCC and binding under the `tidy` preset.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SPINN_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SPINN_THREAD_ANNOTATION
+#define SPINN_THREAD_ANNOTATION(x)  // not Clang: annotations compile away
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names it in diagnostics).
+#define SPINN_CAPABILITY(x) SPINN_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define SPINN_SCOPED_CAPABILITY SPINN_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define SPINN_GUARDED_BY(x) SPINN_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is guarded by `x` (the pointer itself may
+/// be read freely).
+#define SPINN_PT_GUARDED_BY(x) SPINN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the caller to already hold the listed capabilities —
+/// the `_locked()` helper contract.
+#define SPINN_REQUIRES(...) \
+  SPINN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define SPINN_ACQUIRE(...) \
+  SPINN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (no longer held on return).
+#define SPINN_RELEASE(...) \
+  SPINN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `result`.
+#define SPINN_TRY_ACQUIRE(result, ...) \
+  SPINN_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock prevention for
+/// public entry points and for callbacks that re-enter the object).
+#define SPINN_EXCLUDES(...) \
+  SPINN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Documents lock-ordering edges for the analysis.
+#define SPINN_ACQUIRED_BEFORE(...) \
+  SPINN_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SPINN_ACQUIRED_AFTER(...) \
+  SPINN_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define SPINN_RETURN_CAPABILITY(x) \
+  SPINN_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the analysis cannot see the invariant.  EVERY use must
+/// carry an adjacent comment justifying it (lint_invariants.py counts
+/// blanket uses as violations).
+#define SPINN_NO_THREAD_SAFETY_ANALYSIS \
+  SPINN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace spinn {
+
+/// std::mutex with capability annotations: the only mutex type the tree
+/// uses.  Zero-cost — every member is an inline forward.
+class SPINN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SPINN_ACQUIRE() { mu_.lock(); }
+  void unlock() SPINN_RELEASE() { mu_.unlock(); }
+  bool try_lock() SPINN_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII lock for spinn::Mutex — the tree's one lock-holding idiom (both the
+/// lock_guard and the unique_lock roles: CondVar::wait takes it directly).
+/// Scoped acquisition is what lets the analysis reason block-locally.
+class SPINN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) SPINN_ACQUIRE(mu) : lk_(mu->mu_) {}
+  ~MutexLock() SPINN_RELEASE() = default;  // unique_lock unlocks
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// std::condition_variable over spinn::Mutex.  wait() atomically releases
+/// and reacquires the lock the MutexLock holds; the analysis treats the
+/// capability as held across the call, which is exactly the caller's view
+/// (always re-check the predicate in a `while` loop — see header comment).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lk) { cv_.wait(lk.lk_); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace spinn

@@ -8,12 +8,12 @@
 #include <cerrno>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "net/frame.hpp"
 #include "net/protocol.hpp"
 
@@ -58,14 +58,14 @@ struct Wakeup {
 /// Connection ids whose parked request became resumable.  Shared with the
 /// idle callbacks for the same lifetime reason as Wakeup.
 struct ResumeQueue {
-  std::mutex mu;
-  std::vector<std::uint64_t> ids;
-  void push(std::uint64_t id) {
-    std::lock_guard<std::mutex> lk(mu);
+  Mutex mu;
+  std::vector<std::uint64_t> ids SPINN_GUARDED_BY(mu);
+  void push(std::uint64_t id) SPINN_EXCLUDES(mu) {
+    MutexLock lk(&mu);
     ids.push_back(id);
   }
-  std::vector<std::uint64_t> take() {
-    std::lock_guard<std::mutex> lk(mu);
+  std::vector<std::uint64_t> take() SPINN_EXCLUDES(mu) {
+    MutexLock lk(&mu);
     std::vector<std::uint64_t> out;
     out.swap(ids);
     return out;
@@ -97,8 +97,8 @@ struct NetServer::Impl {
   std::unordered_map<std::uint64_t, Conn> conns;
   std::uint64_t next_conn = 1;
 
-  mutable std::mutex stats_mu;
-  NetStats stats;
+  mutable Mutex stats_mu;
+  NetStats stats SPINN_GUARDED_BY(stats_mu);
 };
 
 NetServer::NetServer(const NetConfig& cfg)
@@ -124,19 +124,19 @@ void NetServer::stop() {
   impl_->wakeup->notify();
   // Serialise the join: concurrent stop() calls must not both join the
   // same std::thread (UB); the loser waits for the winner's join instead.
-  std::lock_guard<std::mutex> lk(stop_mu_);
+  MutexLock lk(&stop_mu_);
   if (reactor_.joinable()) reactor_.join();
 }
 
 NetStats NetServer::stats() const {
-  std::lock_guard<std::mutex> lk(impl_->stats_mu);
+  MutexLock lk(&impl_->stats_mu);
   return impl_->stats;
 }
 
 void NetServer::loop() {
   auto& im = *impl_;
   const auto bump = [&](auto member, std::uint64_t by = 1) {
-    std::lock_guard<std::mutex> lk(im.stats_mu);
+    MutexLock lk(&im.stats_mu);
     im.stats.*member += by;
   };
   std::vector<std::uint64_t> doomed;
@@ -210,7 +210,7 @@ void NetServer::loop() {
           conn.inbox.pop_front();
           std::string resp;
           {
-            std::lock_guard<std::mutex> lk(im.stats_mu);
+            MutexLock lk(&im.stats_mu);
             const NetStats& s = im.stats;
             resp = "net accepted=" + std::to_string(s.accepted) +
                    " refused=" + std::to_string(s.refused) +
@@ -403,7 +403,7 @@ void NetServer::loop() {
 
     for (const std::uint64_t id : doomed) im.conns.erase(id);
     {
-      std::lock_guard<std::mutex> lk(im.stats_mu);
+      MutexLock lk(&im.stats_mu);
       im.stats.connections = im.conns.size();
     }
   }
@@ -411,7 +411,7 @@ void NetServer::loop() {
   im.conns.clear();
   im.listener.close();
   {
-    std::lock_guard<std::mutex> lk(im.stats_mu);
+    MutexLock lk(&im.stats_mu);
     im.stats.connections = 0;
   }
 }

@@ -27,9 +27,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 
+#include "common/thread_annotations.hpp"
 #include "net/socket.hpp"
 #include "server/server.hpp"
 
@@ -107,7 +107,7 @@ class NetServer {
   std::uint16_t port_ = 0;
   std::unique_ptr<Impl> impl_;
   std::atomic<bool> stopping_{false};
-  std::mutex stop_mu_;  // serialises reactor_.join() across stop() calls
+  Mutex stop_mu_;  // serialises reactor_.join() across stop() calls
   std::thread reactor_;
 };
 

@@ -5,7 +5,7 @@ namespace spinn::server {
 EnginePool::Lease EnginePool::acquire(const sim::EngineConfig& cfg) {
   std::unique_ptr<sim::ISimulationEngine> engine;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     for (std::size_t i = 0; i < idle_.size(); ++i) {
       if (same_request(idle_[i].cfg, cfg)) {
         engine = std::move(idle_[i].engine);
@@ -24,7 +24,7 @@ EnginePool::Lease EnginePool::acquire(const sim::EngineConfig& cfg) {
 void EnginePool::give_back(const sim::EngineConfig& cfg,
                            std::unique_ptr<sim::ISimulationEngine> engine) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (idle_.size() >= cfg_.max_idle) return;  // over capacity: destroyed
   }
   // Worth pooling: drop the dead session's queued closures and hooks now —
@@ -32,14 +32,14 @@ void EnginePool::give_back(const sim::EngineConfig& cfg,
   // engine should not pin a whole scenario's memory.  (Destruction alone
   // releases them too, which is why the over-capacity path skips this.)
   engine->reset(0);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   // Concurrent returns may briefly overshoot max_idle by the number of
   // racing give_backs; acquire() drains it back down.
   idle_.push_back(Idle{cfg, std::move(engine)});
 }
 
 EnginePool::Stats EnginePool::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return Stats{created_, reused_, idle_.size()};
 }
 

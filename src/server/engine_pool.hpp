@@ -11,10 +11,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "sim/engine.hpp"
 
 namespace spinn::server {
@@ -80,14 +80,14 @@ class EnginePool {
   /// pre-lease state is unspecified — the borrower is the reset authority
   /// (System's borrowed-engine constructor resets under the machine seed),
   /// so the lease itself never pays a redundant reset pass.
-  Lease acquire(const sim::EngineConfig& cfg);
+  Lease acquire(const sim::EngineConfig& cfg) SPINN_EXCLUDES(mu_);
 
   struct Stats {
     std::uint64_t created = 0;  // engines constructed
     std::uint64_t reused = 0;   // acquisitions served from the idle list
     std::size_t idle = 0;       // engines currently pooled
   };
-  Stats stats() const;
+  Stats stats() const SPINN_EXCLUDES(mu_);
 
  private:
   friend class Lease;
@@ -98,7 +98,8 @@ class EnginePool {
   }
 
   void give_back(const sim::EngineConfig& cfg,
-                 std::unique_ptr<sim::ISimulationEngine> engine);
+                 std::unique_ptr<sim::ISimulationEngine> engine)
+      SPINN_EXCLUDES(mu_);
 
   struct Idle {
     sim::EngineConfig cfg;
@@ -106,10 +107,10 @@ class EnginePool {
   };
 
   EnginePoolConfig cfg_;
-  mutable std::mutex mu_;
-  std::vector<Idle> idle_;
-  std::uint64_t created_ = 0;
-  std::uint64_t reused_ = 0;
+  mutable Mutex mu_;
+  std::vector<Idle> idle_ SPINN_GUARDED_BY(mu_);
+  std::uint64_t created_ SPINN_GUARDED_BY(mu_) = 0;
+  std::uint64_t reused_ SPINN_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace spinn::server

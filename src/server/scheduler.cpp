@@ -16,7 +16,7 @@ void SessionScheduler::submit(const std::shared_ptr<Session>& session) {
   if (!session->try_mark_queued()) return;  // already in the queue
   std::function<void()> hook;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     ready_.push_back(session);
     hook = submit_hook_;
   }
@@ -25,12 +25,12 @@ void SessionScheduler::submit(const std::shared_ptr<Session>& session) {
 }
 
 void SessionScheduler::set_submit_hook(std::function<void()> hook) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   submit_hook_ = std::move(hook);
 }
 
 std::shared_ptr<Session> SessionScheduler::pop() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (ready_.empty()) return nullptr;
   auto s = ready_.front();
   ready_.pop_front();
@@ -44,7 +44,7 @@ bool SessionScheduler::drive() {
   if (more) {
     // Round-robin: back of the queue, queued flag kept.
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       ready_.push_back(s);
     }
     cv_.notify_one();
@@ -60,8 +60,10 @@ bool SessionScheduler::drive() {
 void SessionScheduler::worker_main() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [&] { return stopping_ || !ready_.empty(); });
+      // Explicit predicate loop (not a wait lambda): stopping_ and ready_
+      // are guarded, and the analysis can't see into a predicate lambda.
+      MutexLock lk(&mu_);
+      while (!stopping_ && ready_.empty()) cv_.wait(lk);
       if (stopping_) return;
     }
     drive();
@@ -70,7 +72,7 @@ void SessionScheduler::worker_main() {
 
 void SessionScheduler::stop() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (stopping_) return;
     stopping_ = true;
   }

@@ -8,15 +8,14 @@
 // run requests never double-schedule it.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "server/session.hpp"
 
 namespace spinn::server {
@@ -32,34 +31,36 @@ class SessionScheduler {
   SessionScheduler& operator=(const SessionScheduler&) = delete;
 
   /// Make the session eligible for worker time (no-op if already queued).
-  void submit(const std::shared_ptr<Session>& session);
+  void submit(const std::shared_ptr<Session>& session) SPINN_EXCLUDES(mu_);
 
   /// Invoke `hook` whenever a session lands in the ready queue.  A
   /// transport that drives the scheduler itself (0-worker single-threaded
   /// mode) registers its wakeup here so embedded submissions can't sleep
   /// through a 0-worker poll loop.  The hook runs outside the queue lock
   /// and must be cheap and non-reentrant (a pipe write, not a drive()).
-  void set_submit_hook(std::function<void()> hook);
+  void set_submit_hook(std::function<void()> hook) SPINN_EXCLUDES(mu_);
 
   /// Service at most one queued session for one slice on the calling
   /// thread.  Returns false when the queue was empty.  This is the worker
   /// loop body, exposed for 0-worker deterministic operation.
-  bool drive();
+  bool drive() SPINN_EXCLUDES(mu_);
 
   /// Stop and join the workers.  Queued sessions keep their pending work;
   /// the server tears them down afterwards.
-  void stop();
+  void stop() SPINN_EXCLUDES(mu_);
 
  private:
-  void worker_main();
-  std::shared_ptr<Session> pop();
+  void worker_main() SPINN_EXCLUDES(mu_);
+  std::shared_ptr<Session> pop() SPINN_EXCLUDES(mu_);
 
   const TimeNs slice_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<Session>> ready_;
-  std::function<void()> submit_hook_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::shared_ptr<Session>> ready_ SPINN_GUARDED_BY(mu_);
+  std::function<void()> submit_hook_ SPINN_GUARDED_BY(mu_);
+  bool stopping_ SPINN_GUARDED_BY(mu_) = false;
+  /// Constructor-spawned, joined exactly once by the first stop(); never
+  /// touched by workers themselves, so no guard.
   std::vector<std::thread> workers_;
 };
 

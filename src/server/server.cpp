@@ -12,7 +12,7 @@ SessionServer::~SessionServer() {
   scheduler_.stop();
   std::map<SessionId, Entry> doomed;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     doomed.swap(sessions_);
   }
   for (auto& [id, entry] : doomed) entry.session->close(false);
@@ -30,7 +30,7 @@ SessionId SessionServer::open_and_run(const SessionSpec& spec,
 SessionId SessionServer::admit(const SessionSpec& spec, TimeNs initial_run,
                                std::string* error) {
   if (!validate(spec, error)) {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     ++stats_.rejected;
     return kInvalidSession;
   }
@@ -40,7 +40,7 @@ SessionId SessionServer::admit(const SessionSpec& spec, TimeNs initial_run,
   // queued notify_idle callbacks, which may call back into this server.
   std::vector<std::shared_ptr<Session>> victims;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (cfg_.cost_budget > 0 && cost > cfg_.cost_budget) {
       ++stats_.rejected;
       ++stats_.rejected_cost;
@@ -62,21 +62,6 @@ SessionId SessionServer::admit(const SessionSpec& spec, TimeNs initial_run,
     // Rejection leaves `session` null; victims evicted before a mid-loop
     // rejection (a session turning busy under our feet) are still closed
     // explicitly below, outside mu_ and with their evicted flag set.
-    const auto reject = [&](bool over_budget) {
-      ++stats_.rejected;
-      if (over_budget) ++stats_.rejected_cost;
-      if (error != nullptr) {
-        *error = over_budget
-                     ? "cost budget exhausted: " +
-                           std::to_string(resident_cost_) + "/" +
-                           std::to_string(cfg_.cost_budget) +
-                           " in use, session needs " + std::to_string(cost) +
-                           ", not enough idle to evict"
-                     : "server full: " + std::to_string(sessions_.size()) +
-                           " resident sessions, none idle";
-      }
-      return kInvalidSession;
-    };
     std::size_t idle_count = 0;
     std::uint64_t idle_cost = 0;
     for (const auto& [sid, entry] : sessions_) {
@@ -85,11 +70,11 @@ SessionId SessionServer::admit(const SessionSpec& spec, TimeNs initial_run,
       idle_cost += entry.cost;
     }
     if (sessions_.size() - idle_count >= cfg_.max_sessions) {
-      return reject(/*over_budget=*/false);
+      return reject_locked(/*over_budget=*/false, cost, error);
     }
     if (cfg_.cost_budget > 0 &&
         resident_cost_ - idle_cost + cost > cfg_.cost_budget) {
-      return reject(/*over_budget=*/true);
+      return reject_locked(/*over_budget=*/true, cost, error);
     }
     // Evict until both the count cap and the cost budget admit the new
     // session; each eviction removes the costliest idle session first, so
@@ -103,8 +88,9 @@ SessionId SessionServer::admit(const SessionSpec& spec, TimeNs initial_run,
             resident_cost_ + cost > cfg_.cost_budget)) {
       std::shared_ptr<Session> victim = evict_one_locked();
       if (!victim) {
-        reject(cfg_.cost_budget > 0 &&
-               resident_cost_ + cost > cfg_.cost_budget);
+        reject_locked(cfg_.cost_budget > 0 &&
+                          resident_cost_ + cost > cfg_.cost_budget,
+                      cost, error);
         admitted = false;
         break;
       }
@@ -129,6 +115,23 @@ SessionId SessionServer::admit(const SessionSpec& spec, TimeNs initial_run,
   // open_and_run the same submission also covers the first run request.
   scheduler_.submit(session);
   return session->id();
+}
+
+SessionId SessionServer::reject_locked(bool over_budget, std::uint64_t cost,
+                                       std::string* error) {
+  ++stats_.rejected;
+  if (over_budget) ++stats_.rejected_cost;
+  if (error != nullptr) {
+    *error = over_budget
+                 ? "cost budget exhausted: " +
+                       std::to_string(resident_cost_) + "/" +
+                       std::to_string(cfg_.cost_budget) +
+                       " in use, session needs " + std::to_string(cost) +
+                       ", not enough idle to evict"
+                 : "server full: " + std::to_string(sessions_.size()) +
+                       " resident sessions, none idle";
+  }
+  return kInvalidSession;
 }
 
 std::shared_ptr<Session> SessionServer::evict_one_locked() {
@@ -166,7 +169,7 @@ void SessionServer::remember_locked(const SessionStatus& st) {
 }
 
 std::shared_ptr<Session> SessionServer::find_and_touch(SessionId id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return nullptr;
   it->second.last_touch = ++touch_clock_;
@@ -174,7 +177,7 @@ std::shared_ptr<Session> SessionServer::find_and_touch(SessionId id) {
 }
 
 std::shared_ptr<Session> SessionServer::find(SessionId id) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : it->second.session;
 }
@@ -213,7 +216,7 @@ std::vector<neural::SpikeRecorder::Event> SessionServer::drain(SessionId id) {
 SessionStatus SessionServer::status(SessionId id) const {
   auto s = find(id);
   if (s) return s->status();
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = tombstones_.find(id);
   return it == tombstones_.end() ? SessionStatus{} : it->second;
 }
@@ -221,7 +224,7 @@ SessionStatus SessionServer::status(SessionId id) const {
 bool SessionServer::close(SessionId id) {
   std::shared_ptr<Session> s;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     auto it = sessions_.find(id);
     if (it == sessions_.end()) return false;
     s = it->second.session;
@@ -232,7 +235,7 @@ bool SessionServer::close(SessionId id) {
   const bool first = s->close(false);
   st.state = SessionState::Closed;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     remember_locked(st);
     ++stats_.closed;
   }
@@ -246,7 +249,7 @@ void SessionServer::set_work_signal(std::function<void()> fn) {
 }
 
 ServerStats SessionServer::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   ServerStats st = stats_;
   st.resident = sessions_.size();
   st.cost_resident = resident_cost_;

@@ -29,10 +29,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "server/engine_pool.hpp"
 #include "server/scheduler.hpp"
 #include "server/session.hpp"
@@ -81,43 +81,46 @@ class SessionServer {
   /// (so time-to-first-spike starts now, not at the first run request).
   /// Returns kInvalidSession with a reason in *error when the spec is
   /// invalid or the server is full of busy sessions.
-  SessionId open(const SessionSpec& spec, std::string* error = nullptr);
+  SessionId open(const SessionSpec& spec, std::string* error = nullptr)
+      SPINN_EXCLUDES(mu_);
 
   /// Admit a session with its first run request already queued: one
   /// scheduler submission covers build + run, so a batched client
   /// (`open; run`) costs a single round-trip through the ready queue.
   /// `duration` also feeds the admission cost (max of it and bio_hint).
   SessionId open_and_run(const SessionSpec& spec, TimeNs duration,
-                         std::string* error = nullptr);
+                         std::string* error = nullptr) SPINN_EXCLUDES(mu_);
 
   /// Queue `duration` more biological time.  False for unknown/closed ids.
-  bool run(SessionId id, TimeNs duration);
+  bool run(SessionId id, TimeNs duration) SPINN_EXCLUDES(mu_);
 
   /// Block until the session has no pending work.  False for unknown ids.
-  bool wait(SessionId id);
+  bool wait(SessionId id) SPINN_EXCLUDES(mu_);
 
   /// Non-blocking wait probe: true while the session is known and still
   /// owes work (a wait() would block).  Unknown ids are not busy.
-  bool busy(SessionId id) const;
+  bool busy(SessionId id) const SPINN_EXCLUDES(mu_);
 
   /// Invoke `fn` exactly once when the session next has no pending work
   /// (immediately, on this thread, if it is already idle; from a scheduler
   /// worker otherwise).  The non-blocking sibling of wait(): transports
   /// park pipelined `wait` requests on it instead of tying up a thread.
   /// False for unknown ids (`fn` is not invoked).
-  bool notify_idle(SessionId id, std::function<void()> fn);
+  bool notify_idle(SessionId id, std::function<void()> fn)
+      SPINN_EXCLUDES(mu_);
 
   /// Spikes recorded since the caller's previous drain (empty for unknown
   /// or torn-down sessions).
-  std::vector<neural::SpikeRecorder::Event> drain(SessionId id);
+  std::vector<neural::SpikeRecorder::Event> drain(SessionId id)
+      SPINN_EXCLUDES(mu_);
 
   /// Snapshot of a session, resident or recently closed/evicted.  Unknown
   /// ids return a status with id == kInvalidSession.
-  SessionStatus status(SessionId id) const;
+  SessionStatus status(SessionId id) const SPINN_EXCLUDES(mu_);
 
   /// Tear the session down and release its engine.  False if unknown or
   /// already closed (double teardown is a clean no-op).
-  bool close(SessionId id);
+  bool close(SessionId id) SPINN_EXCLUDES(mu_);
 
   /// Manual-mode servicing (workers == 0): run one scheduling quantum on
   /// the calling thread.  Returns false when no session had queued work.
@@ -131,39 +134,42 @@ class SessionServer {
   /// cheap and non-reentrant (a pipe write, not a poll()).
   void set_work_signal(std::function<void()> fn);
 
-  ServerStats stats() const;
+  ServerStats stats() const SPINN_EXCLUDES(mu_);
 
  private:
-  std::shared_ptr<Session> find_and_touch(SessionId id);
-  std::shared_ptr<Session> find(SessionId id) const;
+  std::shared_ptr<Session> find_and_touch(SessionId id) SPINN_EXCLUDES(mu_);
+  std::shared_ptr<Session> find(SessionId id) const SPINN_EXCLUDES(mu_);
   SessionId admit(const SessionSpec& spec, TimeNs initial_run,
-                  std::string* error);
+                  std::string* error) SPINN_EXCLUDES(mu_);
+  /// Count the rejection, format the reason, return kInvalidSession.
+  SessionId reject_locked(bool over_budget, std::uint64_t cost,
+                          std::string* error) SPINN_REQUIRES(mu_);
   /// Remove the costliest idle session (ties: least-recently-touched)
   /// from the resident map and tombstone it; nullptr when nothing is
   /// evictable.  Caller holds mu_ and must close() the returned session
   /// AFTER releasing it (teardown fires idle callbacks that may re-enter
   /// the server).
-  std::shared_ptr<Session> evict_one_locked();
-  void remember_locked(const SessionStatus& st);
+  std::shared_ptr<Session> evict_one_locked() SPINN_REQUIRES(mu_);
+  void remember_locked(const SessionStatus& st) SPINN_REQUIRES(mu_);
 
   ServerConfig cfg_;
   EnginePool pool_;
   SessionScheduler scheduler_;
 
-  mutable std::mutex mu_;
-  SessionId next_id_ = 1;
-  std::uint64_t touch_clock_ = 0;
+  mutable Mutex mu_;
+  SessionId next_id_ SPINN_GUARDED_BY(mu_) = 1;
+  std::uint64_t touch_clock_ SPINN_GUARDED_BY(mu_) = 0;
   struct Entry {
     std::shared_ptr<Session> session;
     std::uint64_t last_touch = 0;
     std::uint64_t cost = 0;  // admission_cost at open, fixed for life
   };
-  std::map<SessionId, Entry> sessions_;
-  std::uint64_t resident_cost_ = 0;
+  std::map<SessionId, Entry> sessions_ SPINN_GUARDED_BY(mu_);
+  std::uint64_t resident_cost_ SPINN_GUARDED_BY(mu_) = 0;
   /// Final status of closed/evicted sessions, so a client polling a
   /// just-evicted id gets "closed, evicted" rather than "unknown".
-  std::map<SessionId, SessionStatus> tombstones_;
-  ServerStats stats_;
+  std::map<SessionId, SessionStatus> tombstones_ SPINN_GUARDED_BY(mu_);
+  ServerStats stats_ SPINN_GUARDED_BY(mu_);
 };
 
 }  // namespace spinn::server

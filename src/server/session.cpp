@@ -23,7 +23,7 @@ Session::~Session() { close(false); }
 
 bool Session::request_run(TimeNs duration) {
   if (duration < 0) return false;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (state_ == SessionState::Closed || state_ == SessionState::Failed) {
     return false;
   }
@@ -66,7 +66,7 @@ bool Session::service(TimeNs slice) {
   std::vector<std::function<void()>> fire;
   bool more = false;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (state_ == SessionState::Pending) {
       build_locked();
     } else if (state_ != SessionState::Closed &&
@@ -105,18 +105,20 @@ bool Session::work_pending_locked() const {
 }
 
 bool Session::has_work() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return work_pending_locked();
 }
 
 void Session::wait_idle() {
-  std::unique_lock<std::mutex> lk(mu_);
-  idle_cv_.wait(lk, [&] { return !work_pending_locked(); });
+  // Explicit predicate loop: the analysis can't see into a predicate
+  // lambda, and work_pending_locked() requires mu_.
+  MutexLock lk(&mu_);
+  while (work_pending_locked()) idle_cv_.wait(lk);
 }
 
 void Session::notify_idle(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (work_pending_locked()) {
       idle_callbacks_.push_back(std::move(fn));
       return;
@@ -126,7 +128,7 @@ void Session::notify_idle(std::function<void()> fn) {
 }
 
 std::vector<neural::SpikeRecorder::Event> Session::drain() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (!system_) return {};
   auto out = system_->spikes().drain();
   drained_total_ += out.size();
@@ -134,7 +136,7 @@ std::vector<neural::SpikeRecorder::Event> Session::drain() {
 }
 
 SessionStatus Session::status() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   SessionStatus st;
   st.id = id_;
   st.state = state_;
@@ -153,7 +155,7 @@ bool Session::close(bool evicted) {
   std::vector<std::function<void()>> fire;
   bool first = false;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (state_ != SessionState::Closed) {
       first = true;
       state_ = SessionState::Closed;

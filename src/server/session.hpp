@@ -16,14 +16,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "server/engine_pool.hpp"
 #include "server/spec.hpp"
 
@@ -71,19 +70,19 @@ class Session {
 
   /// Extend the biological-time target.  Work happens on scheduler workers;
   /// returns false once the session is closed or failed.
-  bool request_run(TimeNs duration);
+  bool request_run(TimeNs duration) SPINN_EXCLUDES(mu_);
 
   /// Perform one work quantum on the calling (worker) thread: build the
   /// system if still Pending, else advance at most `slice` of biological
   /// time.  Returns true while more work is pending.
-  bool service(TimeNs slice);
+  bool service(TimeNs slice) SPINN_EXCLUDES(mu_);
 
   /// True while the session needs worker time (build pending or bio time
   /// still owed).
-  bool has_work() const;
+  bool has_work() const SPINN_EXCLUDES(mu_);
 
   /// Block until the session has no pending work (or is closed/failed).
-  void wait_idle();
+  void wait_idle() SPINN_EXCLUDES(mu_);
 
   /// Invoke `fn` exactly once when the session next has no pending work:
   /// immediately (on the calling thread) if already idle, otherwise from
@@ -91,18 +90,18 @@ class Session {
   /// This is the non-blocking sibling of wait_idle() — transports park a
   /// pipelined `wait` on it instead of tying up a thread.  `fn` must not
   /// call back into the session.
-  void notify_idle(std::function<void()> fn);
+  void notify_idle(std::function<void()> fn) SPINN_EXCLUDES(mu_);
 
   /// Spikes recorded since the previous drain, in recording order.  Empty
   /// after teardown.
-  std::vector<neural::SpikeRecorder::Event> drain();
+  std::vector<neural::SpikeRecorder::Event> drain() SPINN_EXCLUDES(mu_);
 
-  SessionStatus status() const;
+  SessionStatus status() const SPINN_EXCLUDES(mu_);
 
   /// Tear down: destroy the system, return the engine to the pool.  Safe to
   /// call repeatedly and concurrently; only the first call acts (returns
   /// true).  `evicted` marks the teardown as server-initiated in status().
-  bool close(bool evicted = false);
+  bool close(bool evicted = false) SPINN_EXCLUDES(mu_);
 
   /// Scheduler queue-membership flag (dedup: a session sits in the ready
   /// queue at most once).  try_mark_queued() returns true to the single
@@ -113,30 +112,36 @@ class Session {
   void mark_unqueued() { queued_.store(false, std::memory_order_release); }
 
  private:
-  void build_locked();
-  bool work_pending_locked() const;
-  TimeNs goal_locked() const { return run_base_ + requested_; }
+  void build_locked() SPINN_REQUIRES(mu_);
+  bool work_pending_locked() const SPINN_REQUIRES(mu_);
+  TimeNs goal_locked() const SPINN_REQUIRES(mu_) {
+    return run_base_ + requested_;
+  }
 
   const SessionId id_;
   const SessionSpec spec_;
   EnginePool& pool_;
 
-  mutable std::mutex mu_;
-  std::condition_variable idle_cv_;
+  mutable Mutex mu_;
+  CondVar idle_cv_;
   std::atomic<bool> queued_{false};
 
-  SessionState state_ = SessionState::Pending;
-  bool evicted_ = false;
-  TimeNs requested_ = 0;  // total biological time asked for
-  TimeNs run_base_ = 0;   // engine time when the run phase began (post-boot)
-  EnginePool::Lease lease_;
-  std::unique_ptr<System> system_;
-  boot::BootReport boot_report_;
-  map::LoadReport load_report_;
-  std::size_t drained_total_ = 0;
-  std::string error_;
+  SessionState state_ SPINN_GUARDED_BY(mu_) = SessionState::Pending;
+  bool evicted_ SPINN_GUARDED_BY(mu_) = false;
+  /// Total biological time asked for.
+  TimeNs requested_ SPINN_GUARDED_BY(mu_) = 0;
+  /// Engine time when the run phase began (post-boot).
+  TimeNs run_base_ SPINN_GUARDED_BY(mu_) = 0;
+  EnginePool::Lease lease_ SPINN_GUARDED_BY(mu_);
+  std::unique_ptr<System> system_ SPINN_GUARDED_BY(mu_);
+  boot::BootReport boot_report_ SPINN_GUARDED_BY(mu_);
+  map::LoadReport load_report_ SPINN_GUARDED_BY(mu_);
+  std::size_t drained_total_ SPINN_GUARDED_BY(mu_) = 0;
+  std::string error_ SPINN_GUARDED_BY(mu_);
   /// One-shot callbacks waiting for the next idle instant (see notify_idle).
-  std::vector<std::function<void()>> idle_callbacks_;
+  /// Swapped out under mu_ and *fired after release*: a callback may
+  /// re-enter the scheduler or write a transport's wakeup pipe.
+  std::vector<std::function<void()>> idle_callbacks_ SPINN_GUARDED_BY(mu_);
 };
 
 }  // namespace spinn::server

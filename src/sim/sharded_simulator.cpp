@@ -158,7 +158,7 @@ void ShardedSimulator::reset(std::uint64_t seed) {
   windows_opened_ = 0;
   window_executed_.store(0, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lk(error_mutex_);
+    MutexLock lk(&error_mutex_);
     pending_error_ = nullptr;
   }
 }
@@ -269,7 +269,7 @@ std::uint64_t ShardedSimulator::parallel_run_until(TimeNs until) {
     parallel_active_ = false;
     total += window_executed_.load(std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lk(error_mutex_);
+      MutexLock lk(&error_mutex_);
       if (pending_error_) {
         std::exception_ptr e = pending_error_;
         pending_error_ = nullptr;
@@ -312,7 +312,7 @@ void ShardedSimulator::run_slice(std::uint32_t worker, TimeNs bound,
     // Surface on the coordinator after the barrier instead of escaping a
     // worker's stack (which would std::terminate the process).
     tls_current_context = nullptr;
-    std::lock_guard<std::mutex> lk(error_mutex_);
+    MutexLock lk(&error_mutex_);
     if (!pending_error_) pending_error_ = std::current_exception();
   }
   window_executed_.fetch_add(executed, std::memory_order_relaxed);
@@ -347,7 +347,7 @@ void ShardedSimulator::ensure_workers() {
 void ShardedSimulator::release_window() {
   phase_.fetch_add(1, std::memory_order_release);
   if (sleepers_.load(std::memory_order_acquire) > 0) {
-    std::lock_guard<std::mutex> lk(wake_mutex_);
+    MutexLock lk(&wake_mutex_);
     wake_cv_.notify_all();
   }
 }
@@ -372,11 +372,14 @@ void ShardedSimulator::worker_main(std::uint32_t worker) {
         // Park until the coordinator opens the next window.
         sleepers_.fetch_add(1, std::memory_order_acq_rel);
         {
-          std::unique_lock<std::mutex> lk(wake_mutex_);
-          wake_cv_.wait(lk, [&] {
-            return phase_.load(std::memory_order_acquire) != seen ||
-                   shutdown_.load(std::memory_order_acquire);
-          });
+          // Explicit predicate loop (not a wait lambda); the predicate
+          // reads only atomics, so nothing here needs wake_mutex_'s guard
+          // — the mutex exists purely to pair with the condvar.
+          MutexLock lk(&wake_mutex_);
+          while (phase_.load(std::memory_order_acquire) == seen &&
+                 !shutdown_.load(std::memory_order_acquire)) {
+            wake_cv_.wait(lk);
+          }
         }
         sleepers_.fetch_sub(1, std::memory_order_acq_rel);
       }

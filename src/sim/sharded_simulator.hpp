@@ -19,15 +19,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "sim/engine.hpp"
 
 namespace spinn::sim {
@@ -133,12 +132,12 @@ class ShardedSimulator final : public ISimulationEngine {
   std::atomic<std::uint32_t> done_{0};
   std::atomic<std::uint32_t> sleepers_{0};
   std::atomic<bool> shutdown_{false};
-  std::mutex wake_mutex_;
-  std::condition_variable wake_cv_;
+  Mutex wake_mutex_;
+  CondVar wake_cv_;
   /// First exception thrown inside a window slice; rethrown by the
   /// coordinator after the barrier.
-  std::mutex error_mutex_;
-  std::exception_ptr pending_error_;
+  Mutex error_mutex_;
+  std::exception_ptr pending_error_ SPINN_GUARDED_BY(error_mutex_);
   // Published before the phase release, read by workers after the acquire.
   TimeNs window_bound_ = 0;
   bool window_inclusive_ = false;
