@@ -150,6 +150,8 @@ std::vector<std::string> Client::split_response(const std::string& payload) {
     } else {
       blocks.push_back(line);
       if (line.rfind("spikes ", 0) == 0) {
+        // Response-side: the count splits our own server's reply into
+        // blocks; parse_spikes re-validates it.  lint:allow(raw-int-parse)
         spike_lines = static_cast<std::size_t>(
             std::strtoull(line.c_str() + 7, nullptr, 10));
       }

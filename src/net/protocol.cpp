@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <cstring>
 
 namespace spinn::net {
@@ -501,7 +502,10 @@ std::string format_spikes(
 bool parse_spikes(const std::string& block,
                   std::vector<neural::SpikeRecorder::Event>* events) {
   // strtoll walk rather than istringstream: clients parse one of these per
-  // drain, with one line per spike.
+  // drain, with one line per spike.  Response-side parse of the client's
+  // own server's output, not request-side input — a malformed block fails
+  // the structural checks below rather than needing range hardening.
+  // lint:allow(raw-int-parse)
   const char* p = block.c_str();
   if (std::strncmp(p, "spikes ", 7) != 0) return false;
   p += 7;
@@ -533,6 +537,8 @@ bool parse_spikes(const std::string& block,
 bool parse_open_id(const std::string& response, server::SessionId* id) {
   constexpr const char* kPrefix = "ok id=";
   if (response.rfind(kPrefix, 0) != 0) return false;
+  // Response-side: ids were minted by the server this client opened
+  // against.  lint:allow(raw-int-parse)
   char* end = nullptr;
   const unsigned long long v =
       std::strtoull(response.c_str() + std::string(kPrefix).size(), &end, 10);
@@ -596,10 +602,14 @@ bool Request::resolve_id(const std::string& token,
     *id = batch_id_;
     return true;
   }
-  if (token.empty() || token[0] < '0' || token[0] > '9') return false;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0') return false;
+  // Hardened parse, like every other wire-side integer: strtoull would
+  // saturate an overflowing token to ULLONG_MAX and "succeed", silently
+  // aliasing an out-of-range id onto a (potential) real session.
+  std::uint64_t v = 0;
+  if (!server::parse_u64_strict(
+          token, std::numeric_limits<std::uint64_t>::max(), &v)) {
+    return false;
+  }
   *id = static_cast<server::SessionId>(v);
   return true;
 }
