@@ -219,6 +219,8 @@ void NetServer::loop() {
                    " frames_in=" + std::to_string(s.frames_in) +
                    " frames_out=" + std::to_string(s.frames_out) +
                    " batches=" + std::to_string(s.batches) +
+                   " bytes_in=" + std::to_string(s.bytes_in) +
+                   " bytes_out=" + std::to_string(s.bytes_out) +
                    " connections=" + std::to_string(im.conns.size());
           }
           append_frame(conn.outbox, resp);

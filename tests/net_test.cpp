@@ -129,6 +129,34 @@ TEST(NetServer, LifecycleOverTheSocket) {
   EXPECT_EQ(client.request(""), "err empty request");
 }
 
+TEST(NetServer, NetstatsReportsEveryCounter) {
+  NetServer srv;
+  Client client(srv.port());
+  ASSERT_EQ(client.request("ping"), "ok");
+  const std::string resp = client.request("netstats");
+  // Every NetStats counter must appear on the wire — a counter the server
+  // pays to maintain but never reports is dead weight (bytes_in/bytes_out
+  // were exactly that).
+  for (const char* field :
+       {"accepted=", "refused=", "shed_slow=", "shed_flood=", "frames_in=",
+        "frames_out=", "batches=", "bytes_in=", "bytes_out=",
+        "connections="}) {
+    EXPECT_NE(resp.find(field), std::string::npos) << field;
+  }
+  // The byte counters actually move: the ping frame cost bytes both ways.
+  EXPECT_EQ(resp.find("bytes_in=0 "), std::string::npos) << resp;
+  EXPECT_EQ(resp.find("bytes_out=0 "), std::string::npos) << resp;
+}
+
+TEST(NetServer, OverflowingSessionIdIsRejectedNotAliased) {
+  NetServer srv;
+  Client client(srv.port());
+  // strtoull would saturate this to ULLONG_MAX and "resolve" it; the
+  // hardened parse must treat it as an unusable token instead.
+  EXPECT_EQ(client.request("wait 99999999999999999999999"),
+            "err usage: wait <id|$> ...");
+}
+
 // ---- batches ---------------------------------------------------------------
 
 TEST(NetServer, BatchRunsAWholeLifecycleInOneRoundTrip) {
