@@ -30,6 +30,12 @@ struct Wakeup {
   /// The reactor thread's id, set once its loop starts: a notify from that
   /// thread is pointless (it is already awake) and skips the pipe write —
   /// in reactor-drives mode that removes two syscalls per session.
+  ///
+  /// Deliberately lock-free (relaxed): a stale read can only err in the
+  /// safe direction.  A thread that misses the just-stored owner id does
+  /// one redundant pipe write (the reactor drains it harmlessly); it can
+  /// never wrongly *suppress* a wakeup, because only the reactor itself
+  /// ever matches the id — and the reactor needs no wakeup.
   std::atomic<std::thread::id> owner{};
   Wakeup() {
     if (::pipe(fds) == 0) {

@@ -138,7 +138,15 @@ class ShardedSimulator final : public ISimulationEngine {
   /// coordinator after the barrier.
   Mutex error_mutex_;
   std::exception_ptr pending_error_ SPINN_GUARDED_BY(error_mutex_);
-  // Published before the phase release, read by workers after the acquire.
+  // Window parameters are deliberately plain (not GUARDED_BY, not atomic):
+  // the coordinator writes them strictly before the phase_ release
+  // fetch_add, and workers read them strictly after observing the new
+  // phase with acquire — the phase counter is the publication fence, so a
+  // mutex here would buy nothing but a barrier-hot-path lock.  The same
+  // protocol covers the per-shard outboxes: each worker writes only its
+  // own shard's outbox during a window, and the coordinator merges them
+  // (drain_mailboxes) only after every worker has checked in through the
+  // done_ acquire.
   TimeNs window_bound_ = 0;
   bool window_inclusive_ = false;
   bool parallel_active_ = false;
