@@ -198,8 +198,11 @@ NetParser::Status NetParser::feed(const std::string& line) {
   if (tokens[0] == "proj") return parse_proj(tokens);
   if (tokens[0] == "end") {
     if (tokens.size() != 1) return fail("'end' takes no arguments");
+    // Every pop/proj line was validated as it arrived (with errors
+    // attributed to its line); only the whole-description checks are left.
+    if (desc_.populations.empty()) return fail("no populations described");
     std::string why;
-    if (!neural::validate(desc_, &why)) return fail(why);
+    if (!neural::check_synapse_cap(desc_, names_, &why)) return fail(why);
     return Status::Done;
   }
   if (tokens[0] == "net") return fail("nested 'net' inside a net block");
@@ -210,6 +213,10 @@ NetParser::Status NetParser::feed(const std::string& line) {
 std::shared_ptr<const neural::NetworkDescription> NetParser::take() {
   return std::make_shared<const neural::NetworkDescription>(
       std::move(desc_));
+}
+
+std::shared_ptr<const neural::NameMap> NetParser::take_names() {
+  return std::make_shared<const neural::NameMap>(std::move(names_));
 }
 
 NetParser::Status NetParser::parse_pop(
@@ -302,6 +309,19 @@ NetParser::Status NetParser::parse_pop(
       return fail("unknown key '" + key + "' for model '" + model + "'");
     }
   }
+  if (desc_.populations.size() >= neural::kMaxPopulations) {
+    return fail("too many populations (cap " +
+                u64(neural::kMaxPopulations) + ")");
+  }
+  std::string why;
+  if (!neural::validate_population(pd, &why)) return fail(why);
+  if (!names_
+           .emplace(pd.name,
+                    static_cast<neural::PopulationId>(
+                        desc_.populations.size()))
+           .second) {
+    return fail("duplicate population name '" + pd.name + "'");
+  }
   desc_.populations.push_back(std::move(pd));
   return Status::More;
 }
@@ -316,11 +336,11 @@ NetParser::Status NetParser::parse_proj(
   proj.post = tokens[2];
   // Declare-before-use (the canonical encoding always satisfies it): the
   // reference error then names this line, not the closing `end`.
-  if (neural::population_index(desc_, proj.pre) < 0) {
+  if (names_.find(proj.pre) == names_.end()) {
     return fail("projection references unknown population '" + proj.pre +
                 "'");
   }
-  if (neural::population_index(desc_, proj.post) < 0) {
+  if (names_.find(proj.post) == names_.end()) {
     return fail("projection references unknown population '" + proj.post +
                 "'");
   }
@@ -395,6 +415,12 @@ NetParser::Status NetParser::parse_proj(
       return fail("unknown key '" + key + "' for proj");
     }
   }
+  if (desc_.projections.size() >= neural::kMaxProjections) {
+    return fail("too many projections (cap " +
+                u64(neural::kMaxProjections) + ")");
+  }
+  std::string why;
+  if (!neural::validate_projection(proj, names_, &why)) return fail(why);
   desc_.projections.push_back(std::move(proj));
   return Status::More;
 }
@@ -580,19 +606,21 @@ void Request::exec_net_line(const std::string& line) {
   if (status == NetParser::Status::Error) {
     fail_at(here, "net: " + net_parser_->error());
     batch_net_.reset();  // a failed block unbinds `@`
+    batch_names_.reset();
     net_parser_.reset();
     const std::vector<std::string> tokens = tokenize(line);
     net_failed_ = tokens.empty() || tokens[0] != "end";
     return;
   }
   batch_net_ = net_parser_->take();
+  batch_names_ = net_parser_->take_names();
   net_parser_.reset();
   std::uint64_t neurons = 0;
   for (const auto& p : batch_net_->populations) neurons += p.size;
   respond("ok net pops=" + u64(batch_net_->populations.size()) +
           " projs=" + u64(batch_net_->projections.size()) +
           " neurons=" + u64(neurons) + " synapses~" +
-          u64(neural::estimated_synapses(*batch_net_)));
+          u64(neural::estimated_synapses(*batch_net_, *batch_names_)));
 }
 
 bool Request::resolve_id(const std::string& token,
@@ -629,6 +657,7 @@ void Request::exec_open(const std::vector<std::string>& tokens) {
         return;
       }
       spec.net = batch_net_;
+      spec.net_names = batch_names_;
       continue;
     }
     const auto eq = tokens[i].find('=');
@@ -796,6 +825,7 @@ bool Request::advance() {
     fail_at(net_line_, "net description truncated: missing 'end'");
     net_parser_.reset();
     batch_net_.reset();
+    batch_names_.reset();
     net_failed_ = false;
   }
   if (response_.empty()) respond("err empty request");

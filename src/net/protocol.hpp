@@ -57,12 +57,20 @@ class NetParser {
   /// The validated description; call once, after Done.
   std::shared_ptr<const neural::NetworkDescription> take();
 
+  /// The name map resolved incrementally while parsing — every element was
+  /// validated against it per line, so the description take() returns is
+  /// fully validated and the map certifies it (thread it into
+  /// SessionSpec::net_names so admission and build skip re-resolution).
+  /// Call once, after Done (and after take(): indices are positional).
+  std::shared_ptr<const neural::NameMap> take_names();
+
  private:
   Status fail(const std::string& why);
   Status parse_pop(const std::vector<std::string>& tokens);
   Status parse_proj(const std::vector<std::string>& tokens);
 
   neural::NetworkDescription desc_;
+  neural::NameMap names_;
   std::string error_;
 };
 
@@ -121,6 +129,8 @@ class Request {
   std::size_t net_line_ = 0;
   bool net_failed_ = false;
   std::shared_ptr<const neural::NetworkDescription> batch_net_;
+  /// Name map certifying batch_net_'s validation (see NetParser).
+  std::shared_ptr<const neural::NameMap> batch_names_;
 };
 
 /// Render a drained spike stream as a response block: `spikes <n>` then one

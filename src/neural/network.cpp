@@ -142,17 +142,19 @@ bool in_range(double v, double lo, double hi) {
 }
 
 /// Expected synapses of one projection from connector statistics.
-double expected_pairs(const NetworkDescription& desc,
+double expected_pairs(const NetworkDescription& desc, const NameMap& names,
                       const ProjectionDesc& proj) {
-  const int pre_i = population_index(desc, proj.pre);
-  const int post_i = population_index(desc, proj.post);
-  if (pre_i < 0 || post_i < 0) return 0.0;
-  const double pre =
-      static_cast<double>(desc.populations[static_cast<std::size_t>(pre_i)]
-                              .size);
-  const double post =
-      static_cast<double>(desc.populations[static_cast<std::size_t>(post_i)]
-                              .size);
+  const auto pre_it = names.find(proj.pre);
+  const auto post_it = names.find(proj.post);
+  if (pre_it == names.end() || post_it == names.end()) return 0.0;
+  const auto pre_i = static_cast<std::size_t>(pre_it->second);
+  const auto post_i = static_cast<std::size_t>(post_it->second);
+  if (pre_i >= desc.populations.size() ||
+      post_i >= desc.populations.size()) {
+    return 0.0;
+  }
+  const double pre = static_cast<double>(desc.populations[pre_i].size);
+  const double post = static_cast<double>(desc.populations[post_i].size);
   const bool recurrent = pre_i == post_i && !proj.connector.allow_self;
   switch (proj.connector.kind) {
     case ConnectorKind::OneToOne:
@@ -168,169 +170,236 @@ double expected_pairs(const NetworkDescription& desc,
 
 }  // namespace
 
-std::uint64_t estimated_synapses(const NetworkDescription& desc) {
+std::uint64_t estimated_synapses(const NetworkDescription& desc,
+                                 const NameMap& names) {
   // Ceil per projection, so fractional expectations round against the
   // client (a p=0 projection still charges 0 — the mean really is zero).
   // Sizes are capped at 2^20 and projections at 2^10, so each term stays
   // below 2^40: representable in a double, far from uint64 wrap.
   std::uint64_t total = 0;
   for (const auto& proj : desc.projections) {
-    total +=
-        static_cast<std::uint64_t>(std::ceil(expected_pairs(desc, proj)));
+    total += static_cast<std::uint64_t>(
+        std::ceil(expected_pairs(desc, names, proj)));
   }
   return total;
 }
 
-bool validate(const NetworkDescription& desc, std::string* error) {
+std::uint64_t estimated_synapses(const NetworkDescription& desc) {
+  NameMap names;
+  names.reserve(desc.populations.size());
+  for (std::size_t i = 0; i < desc.populations.size(); ++i) {
+    // emplace keeps the first index on a duplicate name, matching
+    // population_index's first-match semantics on an invalid description.
+    names.emplace(desc.populations[i].name,
+                  static_cast<PopulationId>(i));
+  }
+  return estimated_synapses(desc, names);
+}
+
+bool resolve_names(const NetworkDescription& desc, NameMap* names,
+                   std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (desc.populations.size() > kMaxPopulations) {
+    return fail("too many populations (cap " +
+                std::to_string(kMaxPopulations) + ")");
+  }
+  names->clear();
+  names->reserve(desc.populations.size());
+  for (std::size_t i = 0; i < desc.populations.size(); ++i) {
+    const std::string& name = desc.populations[i].name;
+    if (!valid_name(name)) {
+      return fail("population name '" + name + "' must be 1-" +
+                  std::to_string(kMaxNameLength) +
+                  " chars of [A-Za-z0-9_.-]");
+    }
+    if (!names->emplace(name, static_cast<PopulationId>(i)).second) {
+      return fail("duplicate population name '" + name + "'");
+    }
+  }
+  return true;
+}
+
+bool check_synapse_cap(const NetworkDescription& desc, const NameMap& names,
+                       std::string* error) {
+  const std::uint64_t synapses = estimated_synapses(desc, names);
+  if (synapses > kMaxDescribedSynapses) {
+    if (error != nullptr) {
+      *error = "description expands to ~" + std::to_string(synapses) +
+               " synapses, cap is " + std::to_string(kMaxDescribedSynapses);
+    }
+    return false;
+  }
+  return true;
+}
+
+bool validate_population(const PopulationDesc& p, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  const std::string where = "population '" + p.name + "': ";
+  if (!valid_name(p.name)) {
+    return fail("population name '" + p.name + "' must be 1-" +
+                std::to_string(kMaxNameLength) + " chars of [A-Za-z0-9_.-]");
+  }
+  if (p.size == 0 || p.size > kMaxPopulationSize) {
+    return fail(where + "size must be in [1, " +
+                std::to_string(kMaxPopulationSize) + "]");
+  }
+  switch (p.model) {
+    case NeuronModel::Lif:
+      if (!in_range(p.v_rest, -60000.0, 60000.0) ||
+          !in_range(p.v_reset, -60000.0, 60000.0) ||
+          !in_range(p.v_thresh, -60000.0, 60000.0)) {
+        return fail(where + "membrane potentials must be finite and in "
+                            "[-60000, 60000]");
+      }
+      if (!in_range(p.decay, 0.0, 1.0)) {
+        return fail(where + "decay must be in [0, 1]");
+      }
+      if (!in_range(p.r_scale, 0.0, 4096.0)) {
+        return fail(where + "r_scale must be in [0, 4096]");
+      }
+      if (p.refractory > 255) {
+        return fail(where + "refractory must be <= 255 ticks");
+      }
+      break;
+    case NeuronModel::Izhikevich:
+      if (!in_range(p.a, -1000.0, 1000.0) ||
+          !in_range(p.b, -1000.0, 1000.0) ||
+          !in_range(p.c, -60000.0, 60000.0) ||
+          !in_range(p.d, -60000.0, 60000.0)) {
+        return fail(where + "izhikevich parameters out of range");
+      }
+      break;
+    case NeuronModel::PoissonSource:
+      if (!in_range(p.rate_hz, 0.0, kMaxRateHz)) {
+        return fail(where + "rate must be in [0, " +
+                    std::to_string(static_cast<long long>(kMaxRateHz)) +
+                    "] Hz");
+      }
+      break;
+    case NeuronModel::SpikeSourceArray: {
+      if (p.schedule.size() != p.size) {
+        return fail(where + "schedule has " +
+                    std::to_string(p.schedule.size()) +
+                    " spike trains for size " + std::to_string(p.size));
+      }
+      std::size_t entries = 0;
+      for (const auto& train : p.schedule) {
+        entries += train.size();
+        for (const std::uint32_t tick : train) {
+          if (tick > kMaxScheduleTick) {
+            return fail(where + "schedule tick " + std::to_string(tick) +
+                        " exceeds the cap " +
+                        std::to_string(kMaxScheduleTick));
+          }
+        }
+      }
+      if (entries > kMaxScheduleEntries) {
+        return fail(where + "schedule has " + std::to_string(entries) +
+                    " entries, cap is " +
+                    std::to_string(kMaxScheduleEntries));
+      }
+      break;
+    }
+  }
+  return true;
+}
+
+bool validate_projection(const ProjectionDesc& proj, const NameMap& names,
+                         std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  const std::string where =
+      "projection " + proj.pre + "->" + proj.post + ": ";
+  if (names.find(proj.pre) == names.end()) {
+    return fail("projection references unknown population '" + proj.pre +
+                "'");
+  }
+  if (names.find(proj.post) == names.end()) {
+    return fail("projection references unknown population '" + proj.post +
+                "'");
+  }
+  if (proj.connector.kind == ConnectorKind::FixedProbability &&
+      !in_range(proj.connector.probability, 0.0, 1.0)) {
+    return fail(where + "probability must be in [0, 1]");
+  }
+  if (proj.connector.kind == ConnectorKind::OneToOne &&
+      !proj.connector.allow_self) {
+    // The loader always wires the diagonal for one-to-one; a description
+    // asking to exclude it would be silently ignored — reject instead.
+    return fail(where +
+                "one_to_one cannot exclude self-connections (the "
+                "diagonal is the connector)");
+  }
+  if (!in_range(proj.weight.lo, 0.0, kMaxWeight) ||
+      !in_range(proj.weight.hi, 0.0, kMaxWeight) ||
+      proj.weight.lo > proj.weight.hi) {
+    return fail(where + "weight must be in [0, " +
+                std::to_string(static_cast<int>(kMaxWeight)) +
+                "] with lo <= hi (use inh=1 for inhibition)");
+  }
+  if (!in_range(proj.delay_ms.lo, 0.0, kMaxDelayTicks) ||
+      !in_range(proj.delay_ms.hi, 0.0, kMaxDelayTicks) ||
+      proj.delay_ms.lo > proj.delay_ms.hi) {
+    return fail(where + "delay must be in [0, " +
+                std::to_string(kMaxDelayTicks) + "] ms with lo <= hi");
+  }
+  if (proj.stdp.enabled) {
+    if (proj.inhibitory) {
+      return fail(where + "plastic projections are excitatory only");
+    }
+    if (!in_range(proj.stdp.a_plus, 0.0, kMaxWeight) ||
+        !in_range(proj.stdp.a_minus, 0.0, kMaxWeight) ||
+        !in_range(proj.stdp.w_max, 0.0, kMaxWeight) ||
+        proj.stdp.window_ticks > kMaxStdpWindowTicks) {
+      return fail(where + "stdp parameters out of range");
+    }
+  }
+  return true;
+}
+
+bool validate(const NetworkDescription& desc, NameMap* names,
+              std::string* error) {
   const auto fail = [&](const std::string& why) {
     if (error != nullptr) *error = why;
     return false;
   };
   if (desc.populations.empty()) return fail("no populations described");
-  if (desc.populations.size() > kMaxPopulations) {
-    return fail("too many populations (cap " +
-                std::to_string(kMaxPopulations) + ")");
-  }
   if (desc.projections.size() > kMaxProjections) {
     return fail("too many projections (cap " +
                 std::to_string(kMaxProjections) + ")");
   }
-  for (std::size_t i = 0; i < desc.populations.size(); ++i) {
-    const PopulationDesc& p = desc.populations[i];
-    const std::string where = "population '" + p.name + "': ";
-    if (!valid_name(p.name)) {
-      return fail("population name '" + p.name +
-                  "' must be 1-" + std::to_string(kMaxNameLength) +
-                  " chars of [A-Za-z0-9_.-]");
-    }
-    for (std::size_t j = 0; j < i; ++j) {
-      if (desc.populations[j].name == p.name) {
-        return fail("duplicate population name '" + p.name + "'");
-      }
-    }
-    if (p.size == 0 || p.size > kMaxPopulationSize) {
-      return fail(where + "size must be in [1, " +
-                  std::to_string(kMaxPopulationSize) + "]");
-    }
-    switch (p.model) {
-      case NeuronModel::Lif:
-        if (!in_range(p.v_rest, -60000.0, 60000.0) ||
-            !in_range(p.v_reset, -60000.0, 60000.0) ||
-            !in_range(p.v_thresh, -60000.0, 60000.0)) {
-          return fail(where + "membrane potentials must be finite and in "
-                              "[-60000, 60000]");
-        }
-        if (!in_range(p.decay, 0.0, 1.0)) {
-          return fail(where + "decay must be in [0, 1]");
-        }
-        if (!in_range(p.r_scale, 0.0, 4096.0)) {
-          return fail(where + "r_scale must be in [0, 4096]");
-        }
-        if (p.refractory > 255) {
-          return fail(where + "refractory must be <= 255 ticks");
-        }
-        break;
-      case NeuronModel::Izhikevich:
-        if (!in_range(p.a, -1000.0, 1000.0) ||
-            !in_range(p.b, -1000.0, 1000.0) ||
-            !in_range(p.c, -60000.0, 60000.0) ||
-            !in_range(p.d, -60000.0, 60000.0)) {
-          return fail(where + "izhikevich parameters out of range");
-        }
-        break;
-      case NeuronModel::PoissonSource:
-        if (!in_range(p.rate_hz, 0.0, kMaxRateHz)) {
-          return fail(where + "rate must be in [0, " +
-                      std::to_string(static_cast<long long>(kMaxRateHz)) +
-                      "] Hz");
-        }
-        break;
-      case NeuronModel::SpikeSourceArray: {
-        if (p.schedule.size() != p.size) {
-          return fail(where + "schedule has " +
-                      std::to_string(p.schedule.size()) +
-                      " spike trains for size " + std::to_string(p.size));
-        }
-        std::size_t entries = 0;
-        for (const auto& train : p.schedule) {
-          entries += train.size();
-          for (const std::uint32_t tick : train) {
-            if (tick > kMaxScheduleTick) {
-              return fail(where + "schedule tick " + std::to_string(tick) +
-                          " exceeds the cap " +
-                          std::to_string(kMaxScheduleTick));
-            }
-          }
-        }
-        if (entries > kMaxScheduleEntries) {
-          return fail(where + "schedule has " + std::to_string(entries) +
-                      " entries, cap is " +
-                      std::to_string(kMaxScheduleEntries));
-        }
-        break;
-      }
-    }
+  if (!resolve_names(desc, names, error)) return false;
+  for (const PopulationDesc& p : desc.populations) {
+    if (!validate_population(p, error)) return false;
   }
   for (const ProjectionDesc& proj : desc.projections) {
-    const std::string where =
-        "projection " + proj.pre + "->" + proj.post + ": ";
-    if (population_index(desc, proj.pre) < 0) {
-      return fail("projection references unknown population '" + proj.pre +
-                  "'");
-    }
-    if (population_index(desc, proj.post) < 0) {
-      return fail("projection references unknown population '" + proj.post +
-                  "'");
-    }
-    if (proj.connector.kind == ConnectorKind::FixedProbability &&
-        !in_range(proj.connector.probability, 0.0, 1.0)) {
-      return fail(where + "probability must be in [0, 1]");
-    }
-    if (proj.connector.kind == ConnectorKind::OneToOne &&
-        !proj.connector.allow_self) {
-      // The loader always wires the diagonal for one-to-one; a description
-      // asking to exclude it would be silently ignored — reject instead.
-      return fail(where +
-                  "one_to_one cannot exclude self-connections (the "
-                  "diagonal is the connector)");
-    }
-    if (!in_range(proj.weight.lo, 0.0, kMaxWeight) ||
-        !in_range(proj.weight.hi, 0.0, kMaxWeight) ||
-        proj.weight.lo > proj.weight.hi) {
-      return fail(where + "weight must be in [0, " +
-                  std::to_string(static_cast<int>(kMaxWeight)) +
-                  "] with lo <= hi (use inh=1 for inhibition)");
-    }
-    if (!in_range(proj.delay_ms.lo, 0.0, kMaxDelayTicks) ||
-        !in_range(proj.delay_ms.hi, 0.0, kMaxDelayTicks) ||
-        proj.delay_ms.lo > proj.delay_ms.hi) {
-      return fail(where + "delay must be in [0, " +
-                  std::to_string(kMaxDelayTicks) + "] ms with lo <= hi");
-    }
-    if (proj.stdp.enabled) {
-      if (proj.inhibitory) {
-        return fail(where + "plastic projections are excitatory only");
-      }
-      if (!in_range(proj.stdp.a_plus, 0.0, kMaxWeight) ||
-          !in_range(proj.stdp.a_minus, 0.0, kMaxWeight) ||
-          !in_range(proj.stdp.w_max, 0.0, kMaxWeight) ||
-          proj.stdp.window_ticks > kMaxStdpWindowTicks) {
-        return fail(where + "stdp parameters out of range");
-      }
-    }
+    if (!validate_projection(proj, *names, error)) return false;
   }
-  const std::uint64_t synapses = estimated_synapses(desc);
-  if (synapses > kMaxDescribedSynapses) {
-    return fail("description expands to ~" + std::to_string(synapses) +
-                " synapses, cap is " +
-                std::to_string(kMaxDescribedSynapses));
-  }
-  return true;
+  return check_synapse_cap(desc, *names, error);
+}
+
+bool validate(const NetworkDescription& desc, std::string* error) {
+  NameMap names;
+  return validate(desc, &names, error);
 }
 
 bool build(const NetworkDescription& desc, Network* net,
            std::string* error) {
-  if (!validate(desc, error)) return false;
+  NameMap names;
+  if (!validate(desc, &names, error)) return false;
+  return build(desc, names, net, error);
+}
+
+bool build(const NetworkDescription& desc, const NameMap& names,
+           Network* net, std::string* error) {
   *net = Network{};
   for (const PopulationDesc& pd : desc.populations) {
     Population p;
@@ -356,10 +425,22 @@ bool build(const NetworkDescription& desc, Network* net,
     net->add_population(std::move(p));
   }
   for (const ProjectionDesc& proj : desc.projections) {
-    const auto pre =
-        static_cast<PopulationId>(population_index(desc, proj.pre));
-    const auto post =
-        static_cast<PopulationId>(population_index(desc, proj.post));
+    // Resolve through the map; bounds-check the indices so a stale or
+    // caller-supplied map can only fail the build, never index out of the
+    // population vector.
+    const auto pre_it = names.find(proj.pre);
+    const auto post_it = names.find(proj.post);
+    if (pre_it == names.end() || post_it == names.end() ||
+        pre_it->second >= desc.populations.size() ||
+        post_it->second >= desc.populations.size()) {
+      if (error != nullptr) {
+        *error = "projection " + proj.pre + "->" + proj.post +
+                 " does not resolve in the name map";
+      }
+      return false;
+    }
+    const PopulationId pre = pre_it->second;
+    const PopulationId post = post_it->second;
     if (proj.stdp.enabled) {
       net->connect_plastic(pre, post, proj.connector, proj.weight,
                            proj.delay_ms, proj.stdp);

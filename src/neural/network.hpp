@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -194,8 +195,39 @@ inline constexpr std::uint64_t kMaxDescribedSynapses = 1u << 24;
 inline constexpr std::uint32_t kMaxStdpWindowTicks = 100'000;
 
 /// Index of the population named `name`, or -1.  Names are unique in a
-/// valid description, so the first match is the match.
+/// valid description, so the first match is the match.  One linear scan —
+/// fine for a single lookup; loops should resolve_names() once instead.
 int population_index(const NetworkDescription& desc, const std::string& name);
+
+/// Resolved name → population-index map, built once per description and
+/// threaded through validation, admission costing and build() so none of
+/// them redoes the linear name scans.  Duplicate names keep the first
+/// index (population_index's historic "first match" semantics).
+using NameMap = std::unordered_map<std::string, PopulationId>;
+
+/// Build the name map: checks the population-count cap, each name's
+/// charset/length and uniqueness.  On success *names resolves every
+/// population.
+bool resolve_names(const NetworkDescription& desc, NameMap* names,
+                   std::string* error);
+
+/// Per-element checks for one population: name charset plus every
+/// size/parameter/schedule bound.  No cross-element checks (uniqueness is
+/// resolve_names'); a line-oriented parser calls this per `pop` line so
+/// range errors carry that line's attribution.
+bool validate_population(const PopulationDesc& p, std::string* error);
+
+/// Per-element checks for one projection: references resolve in `names`,
+/// connector/weight/delay/stdp bounds.  The `proj`-line sibling of
+/// validate_population.
+bool validate_projection(const ProjectionDesc& proj, const NameMap& names,
+                         std::string* error);
+
+/// The estimated-synapse cap check, shared verbatim by validate() and the
+/// wire parser's `end` so the two paths can never phrase the limit
+/// differently.
+bool check_synapse_cap(const NetworkDescription& desc, const NameMap& names,
+                       std::string* error);
 
 /// The shared construction points every description producer (wire parser,
 /// net::NetBuilder, the server's built-in apps) goes through, so
@@ -213,16 +245,35 @@ ProjectionDesc make_projection(std::string pre, std::string post,
 /// otherwise false with the offending element and token named in *error.
 bool validate(const NetworkDescription& desc, std::string* error);
 
+/// validate() that also hands back the resolved name map, so the caller
+/// can thread it into estimated_synapses()/build() instead of paying the
+/// name resolution again.
+bool validate(const NetworkDescription& desc, NameMap* names,
+              std::string* error);
+
 /// Expected synapse count from connector statistics alone — no elaboration,
 /// no RNG: all_to_all counts pairs, one_to_one the shorter side,
 /// fixed_probability the mean ceil(p × pairs).  This is the size term the
 /// server's admission cost charges before committing to a build.
 std::uint64_t estimated_synapses(const NetworkDescription& desc);
 
+/// estimated_synapses() with the names already resolved (no per-projection
+/// linear scans).  Unresolvable references contribute zero, as before.
+std::uint64_t estimated_synapses(const NetworkDescription& desc,
+                                 const NameMap& names);
+
 /// Compile a description into a Network.  Pure: the same description gives
 /// the same Network (all stochastic elaboration happens later, in the
 /// loader, under the machine seed).  Returns false with a reason in *error
 /// when the description does not validate; *net is then unspecified.
 bool build(const NetworkDescription& desc, Network* net, std::string* error);
+
+/// build() for a description already validated against `names` (the wire
+/// path: the per-line parser validated every element and `end` checked the
+/// caps, so this only resolves projection indices through the map).  Still
+/// fails cleanly — never indexes out of range — on a name missing from or
+/// misresolved by a caller-supplied map.
+bool build(const NetworkDescription& desc, const NameMap& names,
+           Network* net, std::string* error);
 
 }  // namespace spinn::neural

@@ -126,6 +126,10 @@ bool validate(const SessionSpec& spec, std::string* error) {
     return fail("machine capped at 65536 chips per session");
   }
   if (spec.net != nullptr) {
+    // net_names is the parser's certificate that the description was
+    // already validated element-by-element (with errors attributed to
+    // their wire lines) — admission doesn't pay a second full pass.
+    if (spec.net_names != nullptr) return true;
     std::string net_error;
     if (!neural::validate(*spec.net, &net_error)) {
       return fail("inline network: " + net_error);
@@ -137,9 +141,12 @@ bool validate(const SessionSpec& spec, std::string* error) {
 }
 
 std::uint64_t estimated_synapses(const SessionSpec& spec) {
-  return neural::estimated_synapses(spec.net != nullptr
-                                        ? *spec.net
-                                        : app_description(spec.app));
+  if (spec.net != nullptr) {
+    return spec.net_names != nullptr
+               ? neural::estimated_synapses(*spec.net, *spec.net_names)
+               : neural::estimated_synapses(*spec.net);
+  }
+  return neural::estimated_synapses(app_description(spec.app));
 }
 
 std::uint64_t admission_footprint(const SessionSpec& spec) {
@@ -191,7 +198,14 @@ neural::Network build_network(const SessionSpec& spec) {
   std::string error;
   const neural::NetworkDescription& desc =
       spec.net != nullptr ? *spec.net : app_description(spec.app);
-  if (!neural::build(desc, &net, &error)) {
+  const bool ok =
+      spec.net != nullptr && spec.net_names != nullptr
+          // Wire path: validated per line by the parser — resolve the
+          // projection indices through its map instead of a third
+          // validate-plus-scan pass.
+          ? neural::build(desc, *spec.net_names, &net, &error)
+          : neural::build(desc, &net, &error);
+  if (!ok) {
     // Admission validates before any build, so this only fires for an
     // embedded caller who skipped validate(); sessions catch it and report
     // a failed build.

@@ -41,6 +41,14 @@ struct SessionSpec {
   /// Shared, immutable — specs copy cheaply and the description cannot
   /// drift between admission costing and the build.
   std::shared_ptr<const neural::NetworkDescription> net;
+  /// Resolved name map certifying that `net` has already been fully
+  /// validated (the wire parser validates per line and sets this from
+  /// NetParser::take_names()).  When present, admission skips
+  /// re-validating the description and build_network() resolves projection
+  /// indices through it instead of redoing linear name scans.  Embedded
+  /// callers may leave it null: `net` is then validated and resolved from
+  /// scratch on every use, exactly as before.
+  std::shared_ptr<const neural::NameMap> net_names;
   /// Run the distributed boot sequence before loading.
   bool boot = false;
   /// How much biological time the client intends to run.  Purely an

@@ -547,6 +547,29 @@ TEST(NetNegative, UnknownPopulationReferenceNamesTheLine) {
   EXPECT_EQ(blocks[0].rfind("err @3 ", 0), 0u) << blocks[0];
 }
 
+// Value-range errors are attributed to the offending pop/proj line, like
+// parse errors — not deferred to the closing `end`.
+TEST(NetNegative, RangeErrorsNameTheOffendingLine) {
+  NetServer srv;
+  Client client(srv.port());
+  {
+    const auto blocks = Client::split_response(
+        client.batch({"net", "pop a lif 4 decay=7", "proj a a all", "end"}));
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].rfind("err @2 ", 0), 0u) << blocks[0];
+    EXPECT_NE(blocks[0].find("decay must be in [0, 1]"), std::string::npos)
+        << blocks[0];
+  }
+  {
+    const auto blocks = Client::split_response(client.batch(
+        {"net", "pop a lif 4", "proj a a all w=300", "end"}));
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].rfind("err @3 ", 0), 0u) << blocks[0];
+    EXPECT_NE(blocks[0].find("weight must be in"), std::string::npos)
+        << blocks[0];
+  }
+}
+
 TEST(NetNegative, DuplicatePopulationNameRejected) {
   NetServer srv;
   expect_net_error(srv, {"net", "pop a lif 4", "pop a poisson 8 rate=5",
