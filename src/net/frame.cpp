@@ -15,7 +15,7 @@ void append_frame(std::string& out, const std::string& payload) {
   out.append(payload);
 }
 
-bool FrameDecoder::next(std::string* payload) {
+bool FrameDecoder::next(std::string* payload) noexcept {
   const auto compact = [&] {
     if (pos_ == buf_.size()) {
       buf_.clear();

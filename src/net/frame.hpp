@@ -34,12 +34,18 @@ class FrameDecoder {
 
   /// Extract the next complete frame's payload.  False when no complete
   /// frame is buffered (or the decoder overflowed).
-  bool next(std::string* payload);
+  ///
+  /// noexcept is the decode path's contract (tools/lint_invariants.py
+  /// enforces that nothing here can throw): an exception unwinding the
+  /// reactor thread would terminate the whole server through a confusing
+  /// std::thread abort.  Allocation is bounded by max_frame, so the only
+  /// theoretical throw is OOM — where terminating is the honest outcome.
+  bool next(std::string* payload) noexcept;
 
-  bool overflowed() const { return overflowed_; }
+  bool overflowed() const noexcept { return overflowed_; }
 
   /// Bytes buffered but not yet consumed (header + partial payload).
-  std::size_t buffered() const { return buf_.size() - pos_; }
+  std::size_t buffered() const noexcept { return buf_.size() - pos_; }
 
  private:
   std::size_t max_frame_;

@@ -1,0 +1,19 @@
+// Seeded violation: a throw in the frame-decode path.  FrameDecoder::next
+// is noexcept and runs on the reactor thread; an exception here aborts the
+// whole server process.
+// lint-expect: frame-throw
+// lint-path: src/net/frame.cpp
+#include <stdexcept>
+#include <string>
+
+namespace spinn::net {
+
+bool decode(const std::string& buf, std::string* payload) {
+  if (buf.empty()) {
+    throw std::runtime_error("empty frame");
+  }
+  *payload = buf;
+  return true;
+}
+
+}  // namespace spinn::net

@@ -1,0 +1,7 @@
+// Seeded violation: a test reaching into the source tree by relative path
+// instead of including through the public root.
+// lint-expect: include-discipline
+// lint-path: tests/fixture_test.cpp
+#include "../src/net/frame.hpp"
+
+int main() { return 0; }

@@ -1,0 +1,15 @@
+// Seeded violation: a wire-side integer parsed with strtoll, which
+// saturates on overflow and accepts trailing garbage — exactly the
+// aliasing bug parse_u64_strict exists to prevent.
+// lint-expect: raw-int-parse
+// lint-path: src/net/fixture.cpp
+#include <cstdlib>
+#include <string>
+
+namespace spinn::net {
+
+long parse_session_id(const std::string& token) {
+  return std::strtoll(token.c_str(), nullptr, 10);
+}
+
+}  // namespace spinn::net

@@ -1,0 +1,21 @@
+// Seeded violation: a raw std::mutex in server code, invisible to Clang's
+// thread safety analysis.  lint_invariants.py must flag it or fail.
+// lint-expect: raw-mutex
+// lint-path: src/server/fixture.cpp
+#include <mutex>
+
+namespace spinn::server {
+
+class Fixture {
+ public:
+  void touch() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace spinn::server

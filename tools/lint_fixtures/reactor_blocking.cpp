@@ -1,0 +1,21 @@
+// Seeded violation: a blocking sleep inside NetServer::loop().  One stuck
+// call in the reactor stalls every connection, so the lint must catch it.
+// lint-expect: reactor-blocking
+// lint-path: src/net/server.cpp
+#include <chrono>
+#include <thread>
+
+namespace spinn::net {
+
+class NetServer {
+  void loop();
+  bool stopping_ = false;
+};
+
+void NetServer::loop() {
+  while (!stopping_) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace spinn::net

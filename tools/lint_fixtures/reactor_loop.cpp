@@ -1,0 +1,20 @@
+// Seeded violation: an unbounded for(;;) with no break or return inside
+// NetServer::loop() — a reactor that can never observe stopping_.
+// lint-expect: reactor-loop
+// lint-path: src/net/server.cpp
+
+namespace spinn::net {
+
+class NetServer {
+  void loop();
+  void poll_once();
+  bool stopping_ = false;
+};
+
+void NetServer::loop() {
+  for (;;) {
+    poll_once();
+  }
+}
+
+}  // namespace spinn::net

@@ -1,0 +1,16 @@
+// Seeded violation: a blanket SPINN_NO_THREAD_SAFETY_ANALYSIS with no
+// adjacent comment explaining what invariant the analysis cannot see.
+// lint-expect: tsa-justify
+// lint-path: src/sim/fixture.cpp
+#include "common/thread_annotations.hpp"
+
+namespace spinn::sim {
+
+class Fixture {
+ public:
+  int value_ = 0;
+
+  int read_unlocked() SPINN_NO_THREAD_SAFETY_ANALYSIS { return value_; }
+};
+
+}  // namespace spinn::sim
