@@ -122,6 +122,11 @@ std::string Client::receive() {
   return payload;
 }
 
+bool Client::shutdown_write() {
+  if (!flush()) return false;
+  return ::shutdown(fd_.get(), SHUT_WR) == 0;
+}
+
 std::string Client::request(const std::string& line) {
   if (!send(line)) return {};
   return receive();

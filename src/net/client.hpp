@@ -129,6 +129,14 @@ class Client {
   /// blocks.
   std::string batch(const std::vector<std::string>& lines);
 
+  /// Half-close: flush any corked frames, then shutdown(SHUT_WR) — tells
+  /// the server "no more requests" while keeping the read side open.  The
+  /// server drains: every pipelined request still executes and answers, so
+  /// receive() keeps returning responses in order until the server's
+  /// closing EOF.  False on transport failure.  The natural end-of-session
+  /// idiom: send everything, shutdown_write(), read replies to EOF.
+  bool shutdown_write();
+
   /// Split a (batch) response payload back into per-command blocks.  Every
   /// block is one line except `spikes <n>`, which spans the n following
   /// `s ...` lines.

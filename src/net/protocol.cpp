@@ -833,4 +833,18 @@ bool Request::advance() {
   return true;
 }
 
+std::string format_netstats(const NetStats& s) {
+  return "net accepted=" + std::to_string(s.accepted) +
+         " refused=" + std::to_string(s.refused) +
+         " shed_slow=" + std::to_string(s.shed_slow) +
+         " shed_flood=" + std::to_string(s.shed_flood) +
+         " frames_in=" + std::to_string(s.frames_in) +
+         " frames_out=" + std::to_string(s.frames_out) +
+         " batches=" + std::to_string(s.batches) +
+         " bytes_in=" + std::to_string(s.bytes_in) +
+         " bytes_out=" + std::to_string(s.bytes_out) +
+         " connections=" + std::to_string(s.connections) +
+         " reactors=" + std::to_string(s.reactors);
+}
+
 }  // namespace spinn::net

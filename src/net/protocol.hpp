@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "net/server.hpp"
 #include "server/server.hpp"
 
 namespace spinn::net {
@@ -145,5 +146,10 @@ bool parse_spikes(const std::string& block,
 
 /// Parse `ok id=<id>`.  False (id untouched) for any other response.
 bool parse_open_id(const std::string& response, server::SessionId* id);
+
+/// Render the `netstats` verb's response line from an aggregated NetStats
+/// (the reactor answering the verb passes NetServer::stats(), which sums
+/// every reactor's counter shard).
+std::string format_netstats(const NetStats& stats);
 
 }  // namespace spinn::net

@@ -1,427 +1,88 @@
 #include "net/server.hpp"
 
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <atomic>
-#include <cerrno>
-#include <deque>
-#include <memory>
 #include <stdexcept>
+#include <string>
 #include <thread>
-#include <unordered_map>
-#include <vector>
 
-#include "common/thread_annotations.hpp"
-#include "net/frame.hpp"
-#include "net/protocol.hpp"
+#include "net/reactor.hpp"
 
 namespace spinn::net {
 
 namespace {
 
-/// Self-pipe the scheduler workers poke to wake the reactor when a parked
-/// session idles.  Shared (via shared_ptr) between the reactor and every
-/// registered idle callback, so a callback firing during server teardown
-/// still writes into a live object whatever the member destruction order.
-struct Wakeup {
-  int fds[2] = {-1, -1};
-  /// The reactor thread's id, set once its loop starts: a notify from that
-  /// thread is pointless (it is already awake) and skips the pipe write —
-  /// in reactor-drives mode that removes two syscalls per session.
-  ///
-  /// Deliberately lock-free (relaxed): a stale read can only err in the
-  /// safe direction.  A thread that misses the just-stored owner id does
-  /// one redundant pipe write (the reactor drains it harmlessly); it can
-  /// never wrongly *suppress* a wakeup, because only the reactor itself
-  /// ever matches the id — and the reactor needs no wakeup.
-  std::atomic<std::thread::id> owner{};
-  Wakeup() {
-    if (::pipe(fds) == 0) {
-      set_nonblocking(fds[0]);
-      set_nonblocking(fds[1]);
-    }
-  }
-  ~Wakeup() {
-    if (fds[0] >= 0) ::close(fds[0]);
-    if (fds[1] >= 0) ::close(fds[1]);
-  }
-  void notify() const {
-    if (std::this_thread::get_id() == owner.load(std::memory_order_relaxed)) {
-      return;  // the reactor drains its resume queue before every sleep
-    }
-    const char b = 1;
-    [[maybe_unused]] const ssize_t n = ::write(fds[1], &b, 1);
-  }
-  void drain() const {
-    char buf[256];
-    while (::read(fds[0], buf, sizeof buf) > 0) {
-    }
-  }
-};
-
-/// Connection ids whose parked request became resumable.  Shared with the
-/// idle callbacks for the same lifetime reason as Wakeup.
-struct ResumeQueue {
-  Mutex mu;
-  std::vector<std::uint64_t> ids SPINN_GUARDED_BY(mu);
-  void push(std::uint64_t id) SPINN_EXCLUDES(mu) {
-    MutexLock lk(&mu);
-    ids.push_back(id);
-  }
-  std::vector<std::uint64_t> take() SPINN_EXCLUDES(mu) {
-    MutexLock lk(&mu);
-    std::vector<std::uint64_t> out;
-    out.swap(ids);
-    return out;
-  }
-};
+std::size_t resolve_reactor_count(const NetConfig& cfg) {
+  if (cfg.reactors != 0) return cfg.reactors;
+  if (cfg.reactor_drives) return 1;
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t cap = hw == 0 ? 1 : hw;
+  return cap < 4 ? cap : 4;
+}
 
 }  // namespace
 
-struct NetServer::Impl {
-  Fd listener;
-  std::shared_ptr<Wakeup> wakeup = std::make_shared<Wakeup>();
-  std::shared_ptr<ResumeQueue> resumed = std::make_shared<ResumeQueue>();
-
-  struct Conn {
-    Fd fd;
-    std::uint64_t id = 0;
-    FrameDecoder dec;
-    std::deque<std::string> inbox;   // decoded, unserviced request frames
-    std::unique_ptr<Request> active; // the request currently executing
-    bool parked = false;             // active is waiting on a busy session
-    std::string outbox;              // encoded responses not yet on the wire
-    std::size_t out_pos = 0;         // prefix of outbox already sent
-    bool dead = false;               // shed this iteration; erased at the end
-
-    Conn(Fd f, std::uint64_t cid, std::size_t max_frame)
-        : fd(std::move(f)), id(cid), dec(max_frame) {}
-  };
-
-  std::unordered_map<std::uint64_t, Conn> conns;
-  std::uint64_t next_conn = 1;
-
-  mutable Mutex stats_mu;
-  NetStats stats SPINN_GUARDED_BY(stats_mu);
-};
-
 NetServer::NetServer(const NetConfig& cfg)
-    : cfg_(cfg), sessions_(cfg.session), impl_(std::make_unique<Impl>()) {
+    : cfg_(cfg), sessions_(cfg.session) {
   std::string error;
-  impl_->listener = listen_loopback(cfg_.port, &port_, &error);
-  if (!impl_->listener) {
+  listener_ = listen_loopback(cfg_.port, &port_, &error);
+  if (!listener_) {
     throw std::runtime_error("net: cannot listen on 127.0.0.1:" +
                              std::to_string(cfg_.port) + " (" + error + ")");
   }
-  if (cfg_.reactor_drives) {
-    // Embedded submissions must wake the reactor's poll loop; the shared
-    // Wakeup keeps the signal safe through any destruction order.
-    sessions_.set_work_signal([wk = impl_->wakeup] { wk->notify(); });
+  const std::size_t n = resolve_reactor_count(cfg_);
+  if (cfg_.reactor_drives && n != 1) {
+    throw std::runtime_error(
+        "net: reactor_drives requires exactly one reactor (got reactors=" +
+        std::to_string(n) +
+        "); the drive loop assumes it is the only thread pumping the "
+        "session scheduler");
   }
-  reactor_ = std::thread([this] { loop(); });
+  // Construct every reactor (epoll set + wakeup pipe, throws on fd
+  // exhaustion) before starting any thread: a failed sibling must not
+  // leak a running loop, and ~NetServer never runs on a half-built object.
+  reactors_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    reactors_.push_back(std::make_unique<Reactor>(*this, i));
+  }
+  if (cfg_.reactor_drives) {
+    // Embedded submissions must wake the (single) reactor's epoll wait;
+    // the hook's shared Wakeup keeps the signal safe through any
+    // destruction order.
+    sessions_.set_work_signal(reactors_[0]->wake_fn());
+  }
+  for (auto& r : reactors_) r->start();
 }
 
 NetServer::~NetServer() { stop(); }
 
 void NetServer::stop() {
   stopping_.store(true, std::memory_order_release);
-  impl_->wakeup->notify();
-  // Serialise the join: concurrent stop() calls must not both join the
-  // same std::thread (UB); the loser waits for the winner's join instead.
+  for (auto& r : reactors_) r->notify();
+  // Serialise the joins: concurrent stop() calls must not both join the
+  // same std::thread (UB); the loser waits for the winner's joins instead.
   MutexLock lk(&stop_mu_);
-  if (reactor_.joinable()) reactor_.join();
+  for (auto& r : reactors_) r->join();
 }
 
 NetStats NetServer::stats() const {
-  MutexLock lk(&impl_->stats_mu);
-  return impl_->stats;
-}
-
-void NetServer::loop() {
-  auto& im = *impl_;
-  const auto bump = [&](auto member, std::uint64_t by = 1) {
-    MutexLock lk(&im.stats_mu);
-    im.stats.*member += by;
-  };
-  std::vector<std::uint64_t> doomed;
-
-  // Shed the connection: responses can no longer be delivered correctly
-  // (overflow/flood) or at all (peer gone).  Parked idle callbacks may
-  // still fire for it later; their conn id simply no longer resolves.
-  const auto shed = [&](Impl::Conn& conn, std::uint64_t NetStats::*counter) {
-    if (conn.dead) return;
-    conn.dead = true;
-    if (counter != nullptr) bump(counter);
-    doomed.push_back(conn.id);
-  };
-
-  const auto flush = [&](Impl::Conn& conn) {
-    if (conn.dead) return false;
-    while (conn.out_pos < conn.outbox.size()) {
-      // MSG_NOSIGNAL: a reset peer must be an EPIPE shed, not a
-      // process-killing SIGPIPE.
-      const ssize_t sent =
-          ::send(conn.fd.get(), conn.outbox.data() + conn.out_pos,
-                 conn.outbox.size() - conn.out_pos, MSG_NOSIGNAL);
-      if (sent > 0) {
-        conn.out_pos += static_cast<std::size_t>(sent);
-        continue;
-      }
-      if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
-      if (sent < 0 && errno == EINTR) continue;
-      shed(conn, nullptr);  // peer gone mid-write
-      return false;
-    }
-    conn.outbox.clear();
-    conn.out_pos = 0;
-    return true;
-  };
-
-  // Backpressure point, checked after every appended response.  Two
-  // tiers: a single response bigger than the whole budget can never meet
-  // the per-connection memory bound (it is already materialised in the
-  // outbox) and sheds outright — clients drain incrementally instead of
-  // requesting unboundedly large frames.  A backlog of several responses
-  // tries the wire first: an actively-reading client absorbs it here, so
-  // only a reader that actually stopped gets shed.
-  const auto over_backlog = [&](Impl::Conn& conn, std::size_t frame_bytes) {
-    if (frame_bytes > cfg_.max_write_buffer) {
-      shed(conn, &NetStats::shed_slow);
-      return true;
-    }
-    if (conn.outbox.size() - conn.out_pos <= cfg_.max_write_buffer) {
-      return false;
-    }
-    if (!flush(conn)) return true;  // peer already gone
-    if (conn.outbox.size() - conn.out_pos > cfg_.max_write_buffer) {
-      shed(conn, &NetStats::shed_slow);
-      return true;
-    }
-    return false;
-  };
-
-  // Drive the connection's request pipeline as far as it can go without
-  // blocking: execute queued frames in order, park on busy waits.
-  const auto pump = [&](Impl::Conn& conn) {
-    for (;;) {
-      if (conn.dead) return false;
-      if (conn.parked) return true;
-      if (!conn.active) {
-        if (conn.inbox.empty()) return true;
-        // `netstats` is the transport's own counter dump — answered by the
-        // reactor, invisible to the session layer (and not batchable).
-        if (conn.inbox.front() == "netstats") {
-          conn.inbox.pop_front();
-          std::string resp;
-          {
-            MutexLock lk(&im.stats_mu);
-            const NetStats& s = im.stats;
-            resp = "net accepted=" + std::to_string(s.accepted) +
-                   " refused=" + std::to_string(s.refused) +
-                   " shed_slow=" + std::to_string(s.shed_slow) +
-                   " shed_flood=" + std::to_string(s.shed_flood) +
-                   " frames_in=" + std::to_string(s.frames_in) +
-                   " frames_out=" + std::to_string(s.frames_out) +
-                   " batches=" + std::to_string(s.batches) +
-                   " bytes_in=" + std::to_string(s.bytes_in) +
-                   " bytes_out=" + std::to_string(s.bytes_out) +
-                   " connections=" + std::to_string(im.conns.size());
-          }
-          append_frame(conn.outbox, resp);
-          bump(&NetStats::frames_out);
-          bump(&NetStats::bytes_out, kFrameHeader + resp.size());
-          if (over_backlog(conn, kFrameHeader + resp.size())) return false;
-          continue;
-        }
-        conn.active =
-            std::make_unique<Request>(sessions_, conn.inbox.front());
-        conn.inbox.pop_front();
-        if (conn.active->commands() > 1) bump(&NetStats::batches);
-      }
-      if (conn.active->advance()) {
-        const std::string& resp = conn.active->response();
-        append_frame(conn.outbox, resp);
-        bump(&NetStats::frames_out);
-        bump(&NetStats::bytes_out, kFrameHeader + resp.size());
-        const std::size_t frame_bytes = kFrameHeader + resp.size();
-        conn.active.reset();
-        if (over_backlog(conn, frame_bytes)) return false;
-      } else {
-        const server::SessionId target = conn.active->waiting_on();
-        conn.parked = true;
-        auto rq = im.resumed;
-        auto wk = im.wakeup;
-        const std::uint64_t cid = conn.id;
-        if (!sessions_.notify_idle(target, [rq, wk, cid] {
-              rq->push(cid);
-              wk->notify();
-            })) {
-          // The session vanished between the busy check and registration:
-          // resume immediately (the wait now resolves against the
-          // tombstone).
-          conn.parked = false;
-          continue;
-        }
-        return true;
-      }
-    }
-  };
-
-  const auto read_input = [&](Impl::Conn& conn) {
-    if (conn.dead) return false;
-    char buf[64 * 1024];
-    for (;;) {
-      const ssize_t got = ::recv(conn.fd.get(), buf, sizeof buf, 0);
-      if (got > 0) {
-        bump(&NetStats::bytes_in, static_cast<std::uint64_t>(got));
-        conn.dec.feed(buf, static_cast<std::size_t>(got));
-        std::string frame;
-        while (conn.dec.next(&frame)) {
-          bump(&NetStats::frames_in);
-          conn.inbox.push_back(std::move(frame));
-        }
-        if (conn.dec.overflowed() ||
-            conn.inbox.size() > cfg_.max_pipeline) {
-          shed(conn, &NetStats::shed_flood);
-          return false;
-        }
-        continue;
-      }
-      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
-      if (got < 0 && errno == EINTR) continue;
-      shed(conn, nullptr);  // EOF or hard error
-      return false;
-    }
-  };
-
-  // Resume every connection whose parked session idled, repeating until
-  // the queue stays empty: pumping a resumed connection can itself park
-  // and resume again inline (an already-idle session fires the callback
-  // on this thread, with no pipe write), and nothing may be left behind
-  // before the loop sleeps.  Worker-thread fires always write the pipe,
-  // so a notify racing poll() is never lost either way.
-  // Note: resumed connections are pumped but not flushed here — responses
-  // coalesce in the outbox and go to the wire in one send per connection
-  // at the end of the iteration (flush_pending), so a pipelined client
-  // draining N waits costs one syscall, not N.
-  const auto process_resumes = [&] {
-    for (;;) {
-      const std::vector<std::uint64_t> cids = im.resumed->take();
-      if (cids.empty()) return;
-      for (const std::uint64_t cid : cids) {
-        auto it = im.conns.find(cid);
-        if (it == im.conns.end()) continue;
-        it->second.parked = false;
-        pump(it->second);
-      }
-    }
-  };
-
-  const auto flush_pending = [&] {
-    for (auto& [id, conn] : im.conns) {
-      if (!conn.dead && conn.out_pos < conn.outbox.size()) flush(conn);
-    }
-  };
-
-  // Single-threaded serving (cfg_.reactor_drives): run a bounded burst of
-  // scheduler quanta between socket polls.  Parked requests resume in the
-  // same iteration their session idles — no cross-thread handoff at all.
-  constexpr int kDriveQuanta = 64;
-
-  im.wakeup->owner.store(std::this_thread::get_id(),
-                         std::memory_order_relaxed);
-  std::vector<pollfd> pfds;
-  std::vector<std::uint64_t> ids;
-  int timeout_ms = 500;
-  while (!stopping_.load(std::memory_order_acquire)) {
-    pfds.clear();
-    ids.clear();
-    pfds.push_back({im.wakeup->fds[0], POLLIN, 0});
-    pfds.push_back({im.listener.get(), POLLIN, 0});
-    for (auto& [id, conn] : im.conns) {
-      short events = POLLIN;
-      if (conn.out_pos < conn.outbox.size()) events |= POLLOUT;
-      pfds.push_back({conn.fd.get(), events, 0});
-      ids.push_back(id);
-    }
-    if (::poll(pfds.data(), pfds.size(), timeout_ms) < 0 && errno != EINTR) {
-      break;
-    }
-
-    doomed.clear();
-
-    if ((pfds[0].revents & POLLIN) != 0) im.wakeup->drain();
-    process_resumes();
-
-    if ((pfds[1].revents & POLLIN) != 0) {
-      for (;;) {
-        Fd client = accept_nonblocking(im.listener.get());
-        if (!client) break;
-        if (im.conns.size() >= cfg_.max_connections) {
-          bump(&NetStats::refused);
-          continue;  // Fd destructor closes: refusal is the message
-        }
-        const std::uint64_t cid = im.next_conn++;
-        im.conns.emplace(cid, Impl::Conn(std::move(client), cid,
-                                         cfg_.max_frame));
-        bump(&NetStats::accepted);
-      }
-    }
-
-    for (std::size_t i = 2; i < pfds.size(); ++i) {
-      auto it = im.conns.find(ids[i - 2]);
-      if (it == im.conns.end()) continue;
-      Impl::Conn& conn = it->second;
-      if (conn.dead) continue;
-      const short re = pfds[i].revents;
-      if ((re & (POLLERR | POLLNVAL)) != 0) {
-        shed(conn, nullptr);
-        continue;
-      }
-      if ((re & (POLLIN | POLLHUP)) != 0) {
-        if (!read_input(conn)) continue;
-        if (!pump(conn)) continue;
-      }
-      flush(conn);
-    }
-
-    timeout_ms = 500;
-    if (cfg_.reactor_drives) {
-      // Alternate driving and resuming until quiescent: answering a
-      // parked wait lets its connection pump the next pipelined frame,
-      // which submits new session work, which parks the next wait — all
-      // on this thread, with no pipe writes to re-wake us.  The budget
-      // keeps one connection's deep pipeline from starving socket I/O.
-      for (int budget = 16 * kDriveQuanta; budget > 0;) {
-        process_resumes();
-        int quanta = 0;
-        while (quanta < kDriveQuanta && sessions_.poll()) ++quanta;
-        if (quanta == 0) break;  // idle: resumes drained, queue empty
-        budget -= quanta;
-        if (budget <= 0) timeout_ms = 0;  // work remains: poll, come back
-      }
-    }
-    // Inline idle fires during pump (already-idle sessions) queue resumes
-    // with no pipe write: answer them before sleeping, then put every
-    // coalesced response on the wire.
-    process_resumes();
-    flush_pending();
-
-    for (const std::uint64_t id : doomed) im.conns.erase(id);
-    {
-      MutexLock lk(&im.stats_mu);
-      im.stats.connections = im.conns.size();
-    }
+  // Shards are summed one lock at a time (never two shard locks held at
+  // once), so this nests safely under a reactor answering `netstats` from
+  // inside its own loop.
+  NetStats out;
+  for (const auto& r : reactors_) {
+    const NetStats s = r->stats_shard();
+    out.accepted += s.accepted;
+    out.refused += s.refused;
+    out.shed_slow += s.shed_slow;
+    out.shed_flood += s.shed_flood;
+    out.frames_in += s.frames_in;
+    out.frames_out += s.frames_out;
+    out.batches += s.batches;
+    out.bytes_in += s.bytes_in;
+    out.bytes_out += s.bytes_out;
+    out.connections += s.connections;
   }
-
-  im.conns.clear();
-  im.listener.close();
-  {
-    MutexLock lk(&im.stats_mu);
-    im.stats.connections = 0;
-  }
+  out.reactors = reactors_.size();
+  return out;
 }
 
 }  // namespace spinn::net

@@ -1,10 +1,12 @@
 // NetServer: the socket transport in front of a SessionServer.
 //
-// One reactor thread multiplexes every client connection over poll():
-// frames are decoded incrementally, each frame becomes a net::Request
-// executed against the embedded SessionServer, and responses queue on a
-// bounded per-connection write buffer.  Three properties carry the load
-// story:
+// `NetConfig::reactors` epoll reactor threads (net/reactor.hpp) share one
+// accept path and multiplex the client connections between them: frames
+// are decoded incrementally, each frame becomes a net::Request executed
+// against the shared (thread-safe) SessionServer, and responses queue on a
+// bounded per-connection write buffer.  A connection lives on exactly one
+// reactor for its whole life, so per-connection ordering is untouched by
+// the sharding.  Four properties carry the load story:
 //
 //  * **Pipelining** — a connection may send any number of request frames
 //    without reading responses; they execute in order and answer in order
@@ -12,13 +14,17 @@
 //    is shed).
 //  * **Parked waits** — a `wait` on a busy session suspends that
 //    connection's current request (later frames stay queued behind it) and
-//    resumes via SessionServer::notify_idle through a wakeup pipe; the
-//    reactor thread never blocks on simulation progress, so one slow
-//    session cannot stall the other connections.
+//    resumes via SessionServer::notify_idle through the owning reactor's
+//    wakeup pipe; reactor threads never block on simulation progress, so
+//    one slow session cannot stall the other connections.
 //  * **Backpressure** — a connection that stops reading while responses
 //    accumulate past `max_write_buffer` bytes is shed (closed, counted in
 //    stats) instead of growing the server's memory: slow readers lose
 //    their connection, not the server.
+//  * **Half-close draining** — a client that sends its requests and
+//    `shutdown(SHUT_WR)` still receives every response: EOF marks the
+//    connection draining, queued frames are serviced, the outbox is
+//    flushed, and only then does the server close its side.
 //
 // Admission control is the SessionServer's cost-aware policy
 // (ServerConfig::cost_budget); the transport adds only connection-level
@@ -27,13 +33,16 @@
 
 #include <atomic>
 #include <cstdint>
-#include <thread>
+#include <memory>
+#include <vector>
 
 #include "common/thread_annotations.hpp"
 #include "net/socket.hpp"
 #include "server/server.hpp"
 
 namespace spinn::net {
+
+class Reactor;
 
 struct NetConfig {
   /// TCP port on 127.0.0.1; 0 = ephemeral (read the choice from port()).
@@ -47,6 +56,15 @@ struct NetConfig {
   /// Decoded-but-unserviced request frames per connection before a
   /// flooding writer is shed.
   std::size_t max_pipeline = 256;
+  /// Reactor (event-loop) worker threads.  0 = auto: min(4, hardware
+  /// concurrency), or 1 under `reactor_drives`.  Each reactor owns its own
+  /// epoll set, wakeup pipe, resume queue and connection shard and runs
+  /// the full frame-decode → execute → response-format pipeline; reactor 0
+  /// owns the listener and deals accepted connections round-robin.
+  /// `reactor_drives` requires exactly one reactor (the drive loop assumes
+  /// it is the only thread pumping the session scheduler) — construction
+  /// throws otherwise.
+  std::size_t reactors = 0;
   /// Single-threaded serving: the reactor itself drives the session
   /// scheduler (bounded quanta between socket polls) instead of scheduler
   /// workers.  With `session.workers = 0` this removes every cross-thread
@@ -71,13 +89,19 @@ struct NetStats {
   std::uint64_t batches = 0;        // frames carrying > 1 command
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
-  std::size_t connections = 0;      // currently open
+  std::size_t connections = 0;      // currently open (live, non-doomed)
+  /// Reactor threads contributing to this aggregate (0 in a single shard —
+  /// only NetServer::stats() fills it in).
+  std::size_t reactors = 0;
 };
 
 class NetServer {
  public:
-  /// Binds and starts the reactor thread.  Throws std::runtime_error when
-  /// the socket cannot be bound (port in use).
+  /// Binds and starts the reactor threads.  Throws std::runtime_error when
+  /// the socket cannot be bound (port in use), when a reactor's epoll set
+  /// or wakeup pipe cannot be created (fd exhaustion — a wakeup-less
+  /// reactor would silently degrade every cross-thread resume to the poll
+  /// timeout), or when `reactor_drives` is combined with `reactors != 1`.
   explicit NetServer(const NetConfig& cfg = NetConfig{});
   ~NetServer();
 
@@ -91,24 +115,37 @@ class NetServer {
   /// embedders can mix transport and API access (tests compare both).
   server::SessionServer& sessions() { return sessions_; }
 
+  /// Number of reactor threads actually running (cfg.reactors resolved).
+  std::size_t reactor_count() const { return reactors_.size(); }
+
+  /// Aggregate of every reactor's counter shard.
   NetStats stats() const;
 
-  /// Stop accepting, drop every connection, join the reactor.  Sessions
+  /// Stop accepting, drop every connection, join the reactors.  Sessions
   /// survive (the SessionServer tears down with the object, not the
   /// transport).  Idempotent.
   void stop();
 
  private:
-  struct Impl;
-  void loop();
+  friend class Reactor;
 
   NetConfig cfg_;
   server::SessionServer sessions_;
   std::uint16_t port_ = 0;
-  std::unique_ptr<Impl> impl_;
+  Fd listener_;
   std::atomic<bool> stopping_{false};
-  Mutex stop_mu_;  // serialises reactor_.join() across stop() calls
-  std::thread reactor_;
+  /// Connection ids are dealt from one server-wide counter so a resume
+  /// callback's id names a connection unambiguously whichever reactor
+  /// shard it lives in.
+  std::atomic<std::uint64_t> next_conn_{1};
+  /// Live connections across all shards, maintained by the reactors
+  /// (adopt ++, shed --); the accept path checks it against
+  /// cfg_.max_connections without touching any shard's map.
+  std::atomic<std::size_t> open_conns_{0};
+  /// Round-robin dealing cursor for accepted connections.
+  std::atomic<std::size_t> next_reactor_{0};
+  Mutex stop_mu_;  // serialises the joins across concurrent stop() calls
+  std::vector<std::unique_ptr<Reactor>> reactors_;
 };
 
 }  // namespace spinn::net

@@ -106,15 +106,54 @@ Fd connect_loopback(std::uint16_t port, std::string* error) {
   return fd;
 }
 
-Fd accept_nonblocking(int listen_fd) {
+Fd accept_nonblocking(int listen_fd, int* error_out) {
+  if (error_out != nullptr) *error_out = 0;
   const int fd = ::accept(listen_fd, nullptr, nullptr);
-  if (fd < 0) return {};
+  if (fd < 0) {
+    // EAGAIN means "queue drained", every other errno is a real failure
+    // the caller must see — collapsing EMFILE into "nothing pending" is
+    // how the old reactor ended up busy-spinning on fd exhaustion.
+    if (error_out != nullptr &&
+        errno != EAGAIN && errno != EWOULDBLOCK) {
+      *error_out = errno;
+    }
+    return {};
+  }
   if (!set_nonblocking(fd)) {
+    // The socket was accepted but can't be used; report it as a
+    // per-connection failure, not queue-drained.
+    if (error_out != nullptr) *error_out = ECONNABORTED;
     ::close(fd);
     return {};
   }
   set_nodelay(fd);
   return Fd(fd);
+}
+
+Epoll::Epoll() : fd_(::epoll_create1(0)) {
+  if (!fd_) error_ = errno;
+}
+
+bool Epoll::add(int fd, std::uint32_t events, std::uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  return ::epoll_ctl(fd_.get(), EPOLL_CTL_ADD, fd, &ev) == 0;
+}
+
+bool Epoll::mod(int fd, std::uint32_t events, std::uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  return ::epoll_ctl(fd_.get(), EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+bool Epoll::del(int fd) {
+  return ::epoll_ctl(fd_.get(), EPOLL_CTL_DEL, fd, nullptr) == 0;
+}
+
+int Epoll::wait(epoll_event* events, int max_events, int timeout_ms) {
+  return ::epoll_wait(fd_.get(), events, max_events, timeout_ms);
 }
 
 bool send_all(int fd, const char* data, std::size_t n) {

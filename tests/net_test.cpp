@@ -11,7 +11,12 @@
 // cost-aware admission policy is reachable from the wire.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -140,9 +145,15 @@ TEST(NetServer, NetstatsReportsEveryCounter) {
   for (const char* field :
        {"accepted=", "refused=", "shed_slow=", "shed_flood=", "frames_in=",
         "frames_out=", "batches=", "bytes_in=", "bytes_out=",
-        "connections="}) {
+        "connections=", "reactors="}) {
     EXPECT_NE(resp.find(field), std::string::npos) << field;
   }
+  // The aggregate names its shard count, and the asking connection is
+  // live (non-doomed) while its own netstats executes.
+  EXPECT_NE(resp.find("reactors=" + std::to_string(srv.reactor_count())),
+            std::string::npos)
+      << resp;
+  EXPECT_NE(resp.find("connections=1"), std::string::npos) << resp;
   // The byte counters actually move: the ping frame cost bytes both ways.
   EXPECT_EQ(resp.find("bytes_in=0 "), std::string::npos) << resp;
   EXPECT_EQ(resp.find("bytes_out=0 "), std::string::npos) << resp;
@@ -294,12 +305,16 @@ Events drive_over_socket(std::uint16_t port, const WireSession& ws,
 }
 
 /// The acceptance bar: >= 8 concurrent connections, mixed serial/sharded
-/// engines, every stream bit-identical to the spec run standalone.
-void run_concurrent_equivalence(int depth) {
+/// engines, every stream bit-identical to the spec run standalone —
+/// whether one reactor multiplexes all eight or four reactors own two
+/// connections each (round-robin dealing).
+void run_concurrent_equivalence(int depth, std::size_t reactors = 1) {
   NetConfig cfg;
+  cfg.reactors = reactors;
   cfg.session.workers = 4;
   cfg.session.max_sessions = 8;
   NetServer srv(cfg);
+  ASSERT_EQ(srv.reactor_count(), reactors);
 
   const std::vector<WireSession> sessions = {
       {spec_with("noise", 1, sim::EngineKind::Serial), 25 * kMillisecond},
@@ -349,6 +364,105 @@ TEST(NetServer, EightConnectionsBitIdenticalAtDepth1) {
 
 TEST(NetServer, EightConnectionsBitIdenticalAtDepth4) {
   run_concurrent_equivalence(4);
+}
+
+// The sharded front-end holds the same bar: eight connections dealt
+// round-robin across four reactors (two each), every stream bit-identical
+// to standalone.  Determinism must come from per-session seeding, never
+// from which thread happened to execute the request.
+TEST(NetServer, EightConnectionsAcrossFourReactorsBitIdentical) {
+  run_concurrent_equivalence(/*depth=*/4, /*reactors=*/4);
+}
+
+// A client that pipelines its whole workload and then half-closes
+// (shutdown(SHUT_WR)) has declared end-of-input, not abandonment: every
+// queued request still executes — including one that parks on a wait —
+// and every response still arrives, before the server closes its side.
+// (The old reactor treated EOF as a shed and dropped both.)
+TEST(NetServer, HalfCloseDrainsPipelinedRepliesBeforeClosing) {
+  NetServer srv;
+  Client client(srv.port());
+
+  const server::SessionSpec spec =
+      spec_with("chain", 7, sim::EngineKind::Serial);
+  ASSERT_TRUE(client.send(open_line(spec) +
+                          "\nrun $ 20\nwait $\ndrain $\nclose $"));
+  ASSERT_TRUE(client.send("ping"));
+  ASSERT_TRUE(client.shutdown_write());
+
+  const auto blocks = Client::split_response(client.receive());
+  ASSERT_EQ(blocks.size(), 5u);
+  server::SessionId id = server::kInvalidSession;
+  EXPECT_TRUE(parse_open_id(blocks[0], &id));
+  EXPECT_EQ(blocks[1], "ok");
+  EXPECT_EQ(blocks[2], "ok t=" + std::to_string(20 * kMillisecond));
+  Events events;
+  ASSERT_TRUE(parse_spikes(blocks[3], &events));
+  EXPECT_EQ(blocks[4], "ok");
+  const Events reference = server::run_standalone(spec, 20 * kMillisecond);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_TRUE(same_events(events, reference));
+
+  EXPECT_EQ(client.receive(), "ok");  // the trailing ping, answered post-EOF
+  EXPECT_EQ(client.receive(), "");    // then the server's orderly close
+  EXPECT_FALSE(client.connected());
+
+  // An orderly drain is not an error: no shed counter moved, and the
+  // server's side of the connection is gone by the time the client sees
+  // EOF (the gauge drops before the socket closes).
+  const NetStats st = srv.stats();
+  EXPECT_EQ(st.accepted, 1u);
+  EXPECT_EQ(st.shed_slow, 0u);
+  EXPECT_EQ(st.shed_flood, 0u);
+  EXPECT_EQ(st.connections, 0u);
+}
+
+// A server that cannot create a reactor's wakeup pipe must refuse to
+// construct, loudly — a silently fd-less pipe would degrade every
+// cross-thread resume to the epoll timeout (the bug: Wakeup() ignored
+// pipe() failure and left both fds at -1).  Exhaust the fd table, free
+// exactly enough slots for the listener and the epoll set but not the
+// pipe, and demand the diagnostic.
+TEST(NetServer, WakeupConstructionFailureIsLoudNotSilent) {
+  rlimit saved{};
+  ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &saved), 0);
+  rlimit tight = saved;
+  tight.rlim_cur = 64;
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &tight), 0);
+
+  // Fill every free slot below the limit (fd allocation is lowest-free,
+  // so holes anywhere in the table would hand the server extra budget).
+  std::vector<int> hogs;
+  for (;;) {
+    const int fd = ::open("/dev/null", O_RDONLY);
+    if (fd < 0) break;
+    hogs.push_back(fd);
+  }
+  ASSERT_GE(hogs.size(), 3u);
+  // Three slots: listener socket + epoll set succeed, pipe(2) cannot.
+  for (int i = 0; i < 3; ++i) {
+    ::close(hogs.back());
+    hogs.pop_back();
+  }
+
+  NetConfig cfg;
+  cfg.reactors = 1;
+  cfg.session.workers = 0;  // no scheduler threads to complicate fd math
+  try {
+    NetServer srv(cfg);
+    FAIL() << "NetServer constructed with no free fd for the wakeup pipe";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("wakeup pipe"), std::string::npos)
+        << e.what();
+  }
+
+  for (const int fd : hogs) ::close(fd);
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &saved), 0);
+
+  // With fds available again the same config constructs and serves.
+  NetServer srv(cfg);
+  Client client(srv.port());
+  EXPECT_EQ(client.request("ping"), "ok");
 }
 
 // A parked wait on one connection must not stall another connection's

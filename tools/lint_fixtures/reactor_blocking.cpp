@@ -1,18 +1,19 @@
-// Seeded violation: a blocking sleep inside NetServer::loop().  One stuck
-// call in the reactor stalls every connection, so the lint must catch it.
+// Seeded violation: a blocking sleep inside Reactor::loop().  One stuck
+// call in a reactor stalls every connection it owns, so the lint must
+// catch it in any Reactor::*loop* body, not just a hardcoded method name.
 // lint-expect: reactor-blocking
-// lint-path: src/net/server.cpp
+// lint-path: src/net/reactor.cpp
 #include <chrono>
 #include <thread>
 
 namespace spinn::net {
 
-class NetServer {
+class Reactor {
   void loop();
   bool stopping_ = false;
 };
 
-void NetServer::loop() {
+void Reactor::loop() {
   while (!stopping_) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }

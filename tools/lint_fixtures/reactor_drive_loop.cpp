@@ -1,0 +1,24 @@
+// Seeded violation: a blocking join inside Reactor::drive_loop() — a
+// *differently named* loop method, pinning that the reactor rules match
+// every Reactor::*loop* body, not one hardcoded name.  (A helper whose
+// name merely contains "loop" gets the same scrutiny: reactor code should
+// not name something a loop unless it is one.)
+// lint-expect: reactor-blocking
+// lint-path: src/net/reactor.cpp
+#include <thread>
+
+namespace spinn::net {
+
+class Reactor {
+  void drive_loop();
+  std::thread worker_;
+  bool stopping_ = false;
+};
+
+void Reactor::drive_loop() {
+  while (!stopping_) {
+    worker_.join();
+  }
+}
+
+}  // namespace spinn::net

@@ -1,17 +1,17 @@
 // Seeded violation: an unbounded for(;;) with no break or return inside
-// NetServer::loop() — a reactor that can never observe stopping_.
+// Reactor::loop() — a reactor that can never observe stopping_.
 // lint-expect: reactor-loop
-// lint-path: src/net/server.cpp
+// lint-path: src/net/reactor.cpp
 
 namespace spinn::net {
 
-class NetServer {
+class Reactor {
   void loop();
   void poll_once();
   bool stopping_ = false;
 };
 
-void NetServer::loop() {
+void Reactor::loop() {
   for (;;) {
     poll_once();
   }

@@ -14,12 +14,14 @@ repo-wide discipline whose rationale lives where the discipline does:
   raw-int-parse       Wire-side integers (src/net, src/server) parse through
                       parse_u64_strict / from_chars-based helpers, never the
                       saturate-and-succeed strto*/ato*/sto* family.
-  reactor-blocking    Nothing inside NetServer::loop() may block (sleeps,
-                      joins, session waits, stdio reads): one stuck call
-                      stalls every connection.
-  reactor-loop        Unbounded loops (for(;;)/while(true)) inside
-                      NetServer::loop() must contain a break or return —
-                      the poll loop itself is bounded by stopping_.
+  reactor-blocking    Nothing inside a reactor event-loop body — any
+                      NetServer::*loop*() / Reactor::*loop*() definition in
+                      the reactor files — may block (sleeps, joins, session
+                      waits, stdio reads): one stuck call stalls every
+                      connection on that reactor.
+  reactor-loop        Unbounded loops (for(;;)/while(true)) inside a reactor
+                      event-loop body must contain a break or return — the
+                      epoll loop itself is bounded by stopping_.
   frame-throw         The frame decode path (src/net/frame.*) is noexcept:
                       no `throw`, and FrameDecoder::next stays declared
                       noexcept (an exception unwinding the reactor thread
@@ -57,7 +59,13 @@ REPO = Path(__file__).resolve().parent.parent
 SCAN_DIRS = ["src", "tests", "bench", "examples"]
 EXTENSIONS = {".cpp", ".hpp", ".h", ".cc"}
 WRAPPER_HEADER = "src/common/thread_annotations.hpp"
-REACTOR_FILE = "src/net/server.cpp"
+# Files whose event-loop bodies the reactor rules cover.  The loop itself
+# lives in reactor.cpp; server.cpp stays listed so a loop ever moving back
+# there (or a new orchestrator-side loop appearing) is covered, not missed.
+REACTOR_FILES = ("src/net/server.cpp", "src/net/reactor.cpp")
+# The file that must contain at least one loop body — scanning zero bodies
+# anywhere would mean the rules silently stopped running.
+REACTOR_LOOP_HOME = "src/net/reactor.cpp"
 ALLOW_WINDOW = 40
 
 RAW_MUTEX = re.compile(
@@ -74,6 +82,9 @@ BLOCKING_CALL = re.compile(
     r"\bsrv_\.wait\s*\(|\bsessions_\.wait\s*\("
 )
 UNBOUNDED_LOOP = re.compile(r"\bfor\s*\(\s*;;\s*\)|\bwhile\s*\(\s*true\s*\)")
+# Any out-of-line *loop* method of the reactor classes: loop, drive_loop,
+# accept_loop...  The brace matcher then isolates the definition body.
+REACTOR_LOOP_DECL = re.compile(r"\b(?:NetServer|Reactor)::\w*loop\w*\s*\(")
 BAD_INCLUDE = re.compile(r'#\s*include\s*"([^"]+)"')
 NO_TSA = re.compile(r"\bSPINN_NO_THREAD_SAFETY_ANALYSIS\b")
 ALLOW = re.compile(r"lint:allow\(([a-z-]+)\)")
@@ -218,14 +229,16 @@ def scan_file(rel_path, raw_text):
                     f"{m.group(0).strip()}) parses a wire-side integer; "
                     "use parse_u64_strict or a from_chars helper")
 
-    # reactor rules: the body of NetServer::loop() only.
-    if rel_path == REACTOR_FILE:
-        loop_decl = code.find("void NetServer::loop()")
-        if loop_decl < 0:
-            report("reactor-blocking", 1,
-                   "NetServer::loop() not found — reactor rules cannot run")
-        else:
-            start, end = brace_matched_region(code, loop_decl)
+    # reactor rules: every *loop* method body of NetServer or Reactor in
+    # the reactor files (loop, drive_loop, ... — new loops are covered the
+    # day they are written, not when someone remembers to list them).
+    if rel_path in REACTOR_FILES:
+        bodies_scanned = 0
+        for decl in REACTOR_LOOP_DECL.finditer(code):
+            start, end = brace_matched_region(code, decl.end())
+            if start < 0:
+                continue
+            bodies_scanned += 1
             body = code[start:end]
             body_first_line = line_of(code, start)
             for off, line in enumerate(body.splitlines()):
@@ -233,8 +246,9 @@ def scan_file(rel_path, raw_text):
                 if m:
                     report(
                         "reactor-blocking", body_first_line + off,
-                        f"blocking call {m.group(0).strip()}...) inside the "
-                        "reactor poll loop stalls every connection")
+                        f"blocking call {m.group(0).strip()}...) inside "
+                        f"{decl.group(0).strip()}...) stalls every "
+                        "connection on this reactor")
             for m in UNBOUNDED_LOOP.finditer(body):
                 l_start, l_end = brace_matched_region(body, m.end())
                 loop_line = body_first_line + line_of(body, m.start()) - 1
@@ -246,6 +260,10 @@ def scan_file(rel_path, raw_text):
                         "reactor-loop", loop_line,
                         "unbounded loop inside the reactor with no "
                         "break/return")
+        if rel_path == REACTOR_LOOP_HOME and bodies_scanned == 0:
+            report("reactor-blocking", 1,
+                   "no Reactor::*loop* body found — reactor rules cannot "
+                   "run")
 
     # frame-throw: the decode path stays exception-free and noexcept.
     if rel_path in ("src/net/frame.cpp", "src/net/frame.hpp"):
