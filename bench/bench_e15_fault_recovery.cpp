@@ -1,0 +1,207 @@
+// E15 — §3.2 fault tolerance: recovery latency and spike loss under
+// run-time core failures.
+//
+// Paper claims: the machine offers "run-time support for functional
+// migration and real-time fault mitigation" — a failing core's slice is
+// relocated to a spare by the monitor processors and the multicast tables
+// rewritten while the fabric keeps serving traffic.  This bench measures
+// that machinery end to end on the simulated machine: the distribution of
+// reported recovery windows (table writes over the fabric) when a
+// slice-hosting core is killed mid-run, and how the delivered spike
+// stream degrades as the fault rate climbs.
+#include <cstdio>
+#include <vector>
+
+#include "core/fault_controller.hpp"
+#include "core/system.hpp"
+#include "harness.hpp"
+#include "server/spec.hpp"
+
+namespace {
+
+using namespace spinn;
+
+/// The noise app scattered over a 4x4 machine in 16-neuron slices: 14
+/// resident slices spread across chips, so migrations cross chip
+/// boundaries and rewrite varying numbers of routers.
+server::SessionSpec noise_spec(std::uint64_t seed) {
+  server::SessionSpec spec;
+  spec.app = "noise";
+  spec.seed = seed;
+  spec.width = 4;
+  spec.height = 4;
+  spec.neurons_per_core = 16;
+  spec.scatter = true;
+  return spec;
+}
+
+/// Recovery-latency trials cycle machine shapes so the latency
+/// distribution spans the real spread of migration workloads — from a
+/// one-router same-chip move on the dense 2x2 to a many-router rewrite on
+/// the scattered 4x4 — instead of re-measuring one symmetric case.
+server::SessionSpec variant_spec(int t) {
+  server::SessionSpec spec;
+  spec.app = "noise";
+  spec.seed = 100 + static_cast<std::uint64_t>(t);
+  switch (t % 4) {
+    case 0: break;  // 2x2, 64 neurons/core: everything on one chip
+    case 1:
+      spec.width = 4;
+      spec.height = 4;
+      spec.neurons_per_core = 16;
+      spec.scatter = true;
+      break;
+    case 2:
+      spec.width = 4;
+      spec.height = 4;
+      spec.neurons_per_core = 32;
+      spec.scatter = true;
+      break;
+    default:
+      spec.neurons_per_core = 32;
+      break;
+  }
+  return spec;
+}
+
+/// One faulted run: load the spec's network, kill `kills` slice-hosting
+/// cores (cycling over resident slices, one per millisecond from
+/// `first_at`), run for `dur`, and return the controller's aggregate.
+struct TrialResult {
+  FaultTotals totals;
+  std::vector<double> recovery_us;  // per successful migration
+  std::size_t spikes = 0;           // recorded stream size
+  bool failed = false;
+};
+
+TrialResult faulted_run(const server::SessionSpec& spec, int kills,
+                        TimeNs first_at, TimeNs dur, bool whole_chips = false,
+                        int victim_offset = 0) {
+  const SystemConfig cfg = server::system_config(spec);
+  const neural::Network net = server::build_network(spec);
+  System sys(cfg);
+  map::LoadReport report = sys.load(net);
+  TrialResult out;
+  if (!report.ok) {
+    out.failed = true;
+    return out;
+  }
+  FaultController faults(sys, net, report.placement, cfg.mapper,
+                         /*run_base=*/0, spec.seed);
+  // Schedule against the load-time placement; with whole_chips the
+  // targets are the first `kills` *distinct* chips hosting a slice, so
+  // every kill takes down live traffic rather than re-shooting a corpse.
+  std::vector<ChipCoord> chip_targets;
+  for (const map::Slice& slice : report.placement.slices) {
+    bool seen = false;
+    for (const ChipCoord& c : chip_targets) {
+      if (c.x == slice.core.chip.x && c.y == slice.core.chip.y) seen = true;
+    }
+    if (!seen) chip_targets.push_back(slice.core.chip);
+  }
+  for (int k = 0; k < kills; ++k) {
+    FaultAction a;
+    a.at = first_at + static_cast<TimeNs>(k) * kMillisecond;
+    if (whole_chips) {
+      a.kind = FaultAction::Kind::KillChip;
+      a.chip = chip_targets[static_cast<std::size_t>(k) %
+                            chip_targets.size()];
+    } else {
+      const map::Slice& slice =
+          report.placement.slices[static_cast<std::size_t>(k + victim_offset) %
+                                  report.placement.slices.size()];
+      a.kind = FaultAction::Kind::KillCore;
+      a.chip = slice.core.chip;
+      a.core = slice.core.core;
+    }
+    faults.schedule(a);
+  }
+  sys.run(dur);
+  out.totals = faults.totals();
+  for (const FaultRecord& r : faults.records()) {
+    if (r.executed && r.ok && r.migrations > 0) {
+      out.recovery_us.push_back(static_cast<double>(r.recovery_ns) / 1e3);
+    }
+  }
+  out.spikes = sys.spikes().count();
+  std::string reason;
+  out.failed = faults.take_failure(&reason);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spinn::bench::Harness h("bench_e15_fault_recovery", argc, argv);
+
+  // ---- recovery latency distribution ------------------------------------
+  // Many independent single-kill runs; each reports the monitor-side
+  // reconfiguration window for relocating the victim slice.
+  std::vector<double> recovery_us;
+  double routers_per_migration = 0.0;
+  h.run("kill_core_recovery", [&] {
+    recovery_us.clear();
+    std::size_t routers = 0, migrations = 0;
+    const int trials = 32;
+    for (int t = 0; t < trials; ++t) {
+      const TrialResult r = faulted_run(variant_spec(t), /*kills=*/1,
+                                        /*first_at=*/10 * kMillisecond,
+                                        /*dur=*/30 * kMillisecond,
+                                        /*whole_chips=*/false,
+                                        /*victim_offset=*/t);
+      for (const double us : r.recovery_us) recovery_us.push_back(us);
+      routers += r.totals.routers_rewritten;
+      migrations += r.totals.migrations;
+    }
+    routers_per_migration =
+        migrations > 0 ? static_cast<double>(routers) /
+                             static_cast<double>(migrations)
+                       : 0.0;
+    std::printf("E15: kill-core recovery over %d runs: %zu migrations, "
+                "%.1f routers rewritten each\n",
+                trials, migrations, routers_per_migration);
+  });
+  const double p50 = spinn::bench::percentile(recovery_us, 0.50);
+  const double p99 = spinn::bench::percentile(recovery_us, 0.99);
+  std::printf("  recovery window: p50=%.1f us  p99=%.1f us  (n=%zu)\n",
+              p50, p99, recovery_us.size());
+
+  // ---- spike loss vs fault rate -----------------------------------------
+  // The same machine under 0, 1, 2, 4 whole-chip kills in a 40 ms run —
+  // a chip kill takes the router and all six links with it, so traffic in
+  // flight through the dead chip is really lost while every resident slice
+  // migrates.  The §3.2 claim is graceful degradation: the lost fraction
+  // should grow roughly with the faults, never cliff to a dead machine.
+  double loss_at_max = 0.0;
+  h.run("spike_loss_vs_fault_rate", [&] {
+    const TimeNs dur = 40 * kMillisecond;
+    const TrialResult base = faulted_run(noise_spec(7), /*kills=*/0,
+                                         10 * kMillisecond, dur);
+    std::printf("\n%-8s %12s %12s %16s %10s\n", "kills", "spikes",
+                "lost pkts", "stream deficit", "failed");
+    for (const int kills : {0, 1, 2, 4}) {
+      const TrialResult r = faulted_run(noise_spec(7), kills,
+                                        10 * kMillisecond, dur,
+                                        /*whole_chips=*/true);
+      // Two loss views: packets the fabric dropped inside the recovery
+      // windows (usually tiny — the windows are tens of microseconds),
+      // and the recorded stream's deficit against the fault-free run —
+      // the downstream effect of in-flight traffic dying with the chip.
+      const double deficit =
+          base.spikes > r.spikes && base.spikes > 0
+              ? static_cast<double>(base.spikes - r.spikes) /
+                    static_cast<double>(base.spikes)
+              : 0.0;
+      if (kills == 4) loss_at_max = deficit;
+      std::printf("%-8d %12zu %12llu %15.2f%% %10s\n", kills, r.spikes,
+                  static_cast<unsigned long long>(r.totals.spikes_lost),
+                  100.0 * deficit, r.failed ? "yes" : "no");
+    }
+  });
+
+  h.metric("recovery_p50_us", p50, "us");
+  h.metric("recovery_p99_us", p99, "us");
+  h.metric("routers_rewritten_per_migration", routers_per_migration, "");
+  h.metric("stream_deficit_at_4_chip_kills", loss_at_max, "");
+  return h.finish();
+}

@@ -16,6 +16,9 @@ void Core::load_program(std::unique_ptr<CoreProgram> program) {
 
 std::unique_ptr<CoreProgram> Core::take_program() {
   state_ = CoreState::Off;
+  // In-flight work is lost across a migration, as on the real machine —
+  // and it is *accounted* lost, so a recovery window can be quantified.
+  stats_.packets_dropped += packet_queue_.size();
   packet_queue_.clear();
   dma_queue_.clear();
   timer_pending_ = 0;
@@ -68,6 +71,12 @@ void Core::timer_interrupt() {
 }
 
 void Core::packet_interrupt(const router::Packet& p) {
+  if (state_ == CoreState::Failed) {
+    // A packet addressed to a dead core is traffic the fault lost — count
+    // it, so migration-window spike loss is measurable.
+    ++stats_.packets_dropped;
+    return;
+  }
   if (!usable()) return;
   if (packet_queue_.size() >= kPacketQueueLimit) {
     ++stats_.packets_dropped;

@@ -84,8 +84,13 @@ void GlitchLink::tx_try_send() {
   }
 }
 
+void GlitchLink::stop() {
+  running_ = false;
+  ++glitch_gen_;  // retire any injector chain still in flight
+}
+
 void GlitchLink::rx_on_data(int wire, bool glitch) {
-  if (stats_.deadlocked) return;
+  if (!running_ || stats_.deadlocked) return;
   PhaseConverter& conv = rx_converter_[wire];
   const PhaseConverter::Outcome out =
       glitch ? conv.on_glitch(rng_) : conv.on_transition();
@@ -160,7 +165,7 @@ void GlitchLink::rx_capture() {
 }
 
 void GlitchLink::tx_on_ack(bool glitch) {
-  if (stats_.deadlocked) return;
+  if (!running_ || stats_.deadlocked) return;
   const PhaseConverter::Outcome out =
       glitch ? tx_ack_converter_.on_glitch(rng_) : tx_ack_converter_.on_transition();
   if (out == PhaseConverter::Outcome::Missed) {

@@ -69,6 +69,11 @@ class GlitchLink {
   /// the Fig. 6 circuit must absorb.
   void recover();
 
+  /// Stop the link: halt transmission, retire the glitch injector chains
+  /// and let any in-flight wire events expire as no-ops.  Used when a fault
+  /// schedule heals the link out from under the injection.
+  void stop();
+
   const Stats& stats() const { return stats_; }
   bool deadlocked() const { return stats_.deadlocked; }
 

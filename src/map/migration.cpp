@@ -42,6 +42,18 @@ MigrationReport Migrator::migrate(mesh::Machine& machine, CoreId from,
   MigrationReport report;
   report.from = from;
 
+  // The monitor core is the chip's operating system (§4.1), not a slice
+  // host — it has no program to move and taking it down orphans the chip.
+  const CoreIndex monitor =
+      machine.chip_at(from.chip).monitor_core().value_or(0);
+  if (from.core == monitor) {
+    report.error = "refusing to migrate the monitor core (core " +
+                   std::to_string(monitor) + " of chip (" +
+                   std::to_string(from.chip.x) + "," +
+                   std::to_string(from.chip.y) + "))";
+    return report;
+  }
+
   // Which slice lives on the victim core?
   std::size_t slice_index = placement_.slices.size();
   for (std::size_t i = 0; i < placement_.slices.size(); ++i) {
@@ -57,7 +69,23 @@ MigrationReport Migrator::migrate(mesh::Machine& machine, CoreId from,
 
   if (!to.has_value()) to = find_spare(machine, from.chip);
   if (!to.has_value()) {
-    report.error = "no spare application core available";
+    // Quantify the exhaustion: how full the machine actually is tells the
+    // operator whether to shrink the net or grow the machine.
+    std::size_t alive_chips = 0;
+    std::size_t usable_app_cores = 0;
+    const mesh::Topology& topo = machine.topology();
+    for (std::size_t i = 0; i < machine.num_chips(); ++i) {
+      const ChipCoord c = topo.coord_of(i);
+      if (machine.chip_failed(c)) continue;
+      ++alive_chips;
+      usable_app_cores += app_cores(machine.chip_at(c)).size();
+    }
+    report.error = "no spare application core available: " +
+                   std::to_string(placement_.slices.size()) +
+                   " slices resident on " +
+                   std::to_string(usable_app_cores) +
+                   " usable app cores across " +
+                   std::to_string(alive_chips) + " alive chips";
     return report;
   }
   report.to = *to;

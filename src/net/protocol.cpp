@@ -167,8 +167,64 @@ std::string format_status(const server::SessionStatus& st) {
                 st.bio_now, st.bio_target, st.spikes_recorded,
                 st.spikes_drained, st.chips_alive, st.load_ok ? 1 : 0);
   std::string out(buf);
+  // Fault aggregates only when the session has a chaos schedule, so the
+  // fault-free status line (which tests and clients pin) is unchanged.
+  if (st.faults_scheduled > 0) {
+    out += " faults=" + u64(st.faults_scheduled) +
+           " executed=" + u64(st.faults_executed) +
+           " migrations=" + u64(st.migrations) +
+           " routers=" + u64(st.routers_rewritten) +
+           " recovery_ns=" + u64(static_cast<std::uint64_t>(st.recovery_ns)) +
+           " spikes_lost=" + u64(st.spikes_lost);
+  }
   if (!st.error.empty()) out += " error=" + st.error;
   return out;
+}
+
+// ---- the `fault` verb grammar ----------------------------------------------
+
+/// `a,b,...` — the comma-joined coordinate form of fault targets.
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = text.find(',', start);
+    fields.push_back(text.substr(
+        start, (comma == std::string::npos ? text.size() : comma) - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return fields;
+}
+
+/// The six wire direction tokens, matching to_string(LinkDir).
+bool parse_dir_tok(const std::string& text, LinkDir* out) {
+  if (text == "E") *out = LinkDir::East;
+  else if (text == "NE") *out = LinkDir::NorthEast;
+  else if (text == "N") *out = LinkDir::North;
+  else if (text == "W") *out = LinkDir::West;
+  else if (text == "SW") *out = LinkDir::SouthWest;
+  else if (text == "S") *out = LinkDir::South;
+  else return false;
+  return true;
+}
+
+/// `x,y` (chip=) or `x,y,<tail>` with the tail handed back for the caller
+/// to interpret (core index or link direction).
+bool parse_chip_tok(const std::string& text, std::size_t want_fields,
+                    ChipCoord* chip, std::string* tail) {
+  const std::vector<std::string> fields = split_commas(text);
+  if (fields.size() != want_fields) return false;
+  std::uint64_t x = 0;
+  std::uint64_t y = 0;
+  if (!server::parse_u64_strict(fields[0], 65535, &x) ||
+      !server::parse_u64_strict(fields[1], 65535, &y)) {
+    return false;
+  }
+  chip->x = static_cast<std::uint16_t>(x);
+  chip->y = static_cast<std::uint16_t>(y);
+  if (want_fields == 3) *tail = fields[2];
+  return true;
 }
 
 std::string format_stats(const server::ServerStats& st) {
@@ -708,6 +764,112 @@ void Request::exec_open(const std::vector<std::string>& tokens) {
   }
 }
 
+void Request::exec_fault(server::SessionId id,
+                         const std::vector<std::string>& tokens) {
+  // fault <id|$> kill core=<x>,<y>,<c> [at=<ms>]
+  // fault <id|$> kill chip=<x>,<y> [at=<ms>]
+  // fault <id|$> glitch link=<x>,<y>,<dir> [rate=<hz>] [symbols=<n>]
+  //                                        [conv=<0|1>] [at=<ms>]
+  // fault <id|$> heal link=<x>,<y>,<dir> [at=<ms>]
+  static const char* kUsage =
+      "usage: fault <id|$> kill core=<x>,<y>,<c>|chip=<x>,<y> | "
+      "glitch|heal link=<x>,<y>,<E|NE|N|W|SW|S> "
+      "[at=<ms>] [rate=<hz>] [symbols=<n>] [conv=<0|1>]";
+  if (tokens.size() < 4) {
+    fail(kUsage);
+    ++next_line_;
+    return;
+  }
+  FaultAction action;
+  const std::string& verb = tokens[2];
+  const std::string& target = tokens[3];
+  const bool is_kill = verb == "kill";
+  const bool is_glitch = verb == "glitch";
+  const bool is_heal = verb == "heal";
+  std::string tail;
+  bool target_ok = false;
+  if (is_kill && target.rfind("core=", 0) == 0) {
+    action.kind = FaultAction::Kind::KillCore;
+    std::uint64_t core = 0;
+    target_ok = parse_chip_tok(target.substr(5), 3, &action.chip, &tail) &&
+                server::parse_u64_strict(tail, 255, &core);
+    action.core = static_cast<CoreIndex>(core);
+  } else if (is_kill && target.rfind("chip=", 0) == 0) {
+    action.kind = FaultAction::Kind::KillChip;
+    target_ok = parse_chip_tok(target.substr(5), 2, &action.chip, &tail);
+  } else if ((is_glitch || is_heal) && target.rfind("link=", 0) == 0) {
+    action.kind = is_glitch ? FaultAction::Kind::GlitchLink
+                            : FaultAction::Kind::HealLink;
+    target_ok = parse_chip_tok(target.substr(5), 3, &action.chip, &tail) &&
+                parse_dir_tok(tail, &action.dir);
+  } else {
+    fail(kUsage);
+    ++next_line_;
+    return;
+  }
+  if (!target_ok) {
+    fail("bad fault target '" + target + "' (" + kUsage + ")");
+    ++next_line_;
+    return;
+  }
+  for (std::size_t i = 4; i < tokens.size(); ++i) {
+    const std::size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      fail("expected key=value, got '" + tokens[i] + "'");
+      ++next_line_;
+      return;
+    }
+    const std::string key = tokens[i].substr(0, eq);
+    const std::string value = tokens[i].substr(eq + 1);
+    if (key == "at") {
+      // `at=0` means "at the start of the run phase" (parse_run_ms itself
+      // excludes zero, which is right for run durations but not here).
+      if (value == "0") {
+        action.at = 0;
+      } else if (!parse_run_ms(value, &action.at)) {
+        fail("'at' expects bio ms in [0, 1e9], got '" + value + "'");
+        ++next_line_;
+        return;
+      }
+    } else if (is_glitch && key == "rate") {
+      if (!parse_f64_tok(value, &action.glitch_rate_hz) ||
+          !(action.glitch_rate_hz > 0.0)) {
+        fail("'rate' expects a positive glitch rate in Hz, got '" + value +
+             "'");
+        ++next_line_;
+        return;
+      }
+    } else if (is_glitch && key == "symbols") {
+      if (!server::parse_u64_strict(value, 1u << 20, &action.glitch_symbols) ||
+          action.glitch_symbols == 0) {
+        fail("'symbols' expects an integer in [1, 1048576], got '" + value +
+             "'");
+        ++next_line_;
+        return;
+      }
+    } else if (is_glitch && key == "conv") {
+      if (!parse_bool_tok(value, &action.conventional)) {
+        fail("'conv' expects 0 or 1, got '" + value + "'");
+        ++next_line_;
+        return;
+      }
+    } else {
+      fail("unknown key '" + key + "' for fault " + verb);
+      ++next_line_;
+      return;
+    }
+  }
+  std::string error;
+  if (!srv_.fault(id, action, &error)) {
+    fail(error);
+    ++next_line_;
+    return;
+  }
+  ++faults_scheduled_;
+  respond("ok");
+  ++next_line_;
+}
+
 bool Request::advance() {
   waiting_ = server::kInvalidSession;
   while (next_line_ < lines_.size()) {
@@ -805,6 +967,8 @@ bool Request::advance() {
         respond(format_status(st));
       }
       ++next_line_;
+    } else if (cmd == "fault") {
+      exec_fault(id, tokens);
     } else if (cmd == "close") {
       if (srv_.close(id)) {
         respond("ok");
@@ -841,6 +1005,7 @@ std::string format_netstats(const NetStats& s) {
          " frames_in=" + std::to_string(s.frames_in) +
          " frames_out=" + std::to_string(s.frames_out) +
          " batches=" + std::to_string(s.batches) +
+         " faults=" + std::to_string(s.faults) +
          " bytes_in=" + std::to_string(s.bytes_in) +
          " bytes_out=" + std::to_string(s.bytes_out) +
          " connections=" + std::to_string(s.connections) +

@@ -105,6 +105,10 @@ class Request {
   /// Number of command lines in the frame (> 1 means batch).
   std::size_t commands() const { return lines_.size(); }
 
+  /// Fault actions this request put onto session schedules (the reactor
+  /// folds it into NetStats::faults).
+  std::size_t faults_scheduled() const { return faults_scheduled_; }
+
  private:
   void respond(const std::string& block);
   /// Error response for the line at `line`: `err <reason>`, prefixed with
@@ -112,6 +116,9 @@ class Request {
   void fail_at(std::size_t line, const std::string& reason);
   void fail(const std::string& reason) { fail_at(next_line_, reason); }
   void exec_open(const std::vector<std::string>& tokens);
+  /// `fault <id|$> ...` with the id already resolved by the dispatch.
+  void exec_fault(server::SessionId id,
+                  const std::vector<std::string>& tokens);
   /// One line of an open `net` block; consumes the line.
   void exec_net_line(const std::string& line);
   bool resolve_id(const std::string& token, server::SessionId* id) const;
@@ -123,6 +130,7 @@ class Request {
   server::SessionId waiting_ = server::kInvalidSession;
   std::string response_;
   bool done_ = false;
+  std::size_t faults_scheduled_ = 0;
   // `net` block state: the in-flight parser, the line the block opened at
   // (for truncation errors), whether the block already failed (remaining
   // lines are skipped to `end` without responses), and the `@` binding.

@@ -302,6 +302,9 @@ void Reactor::loop() {
         append_frame(conn.outbox, resp);
         bump(&NetStats::frames_out);
         bump(&NetStats::bytes_out, kFrameHeader + resp.size());
+        if (conn.active->faults_scheduled() > 0) {
+          bump(&NetStats::faults, conn.active->faults_scheduled());
+        }
         const std::size_t frame_bytes = kFrameHeader + resp.size();
         conn.active.reset();
         if (over_backlog(conn, frame_bytes)) return false;

@@ -77,6 +77,7 @@ NetStats NetServer::stats() const {
     out.frames_in += s.frames_in;
     out.frames_out += s.frames_out;
     out.batches += s.batches;
+    out.faults += s.faults;
     out.bytes_in += s.bytes_in;
     out.bytes_out += s.bytes_out;
     out.connections += s.connections;

@@ -87,6 +87,7 @@ struct NetStats {
   std::uint64_t frames_in = 0;
   std::uint64_t frames_out = 0;
   std::uint64_t batches = 0;        // frames carrying > 1 command
+  std::uint64_t faults = 0;         // fault actions accepted onto schedules
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
   std::size_t connections = 0;      // currently open (live, non-doomed)

@@ -189,6 +189,20 @@ bool SessionServer::run(SessionId id, TimeNs duration) {
   return true;
 }
 
+bool SessionServer::fault(SessionId id, const FaultAction& action,
+                          std::string* error) {
+  auto s = find_and_touch(id);
+  if (!s) {
+    if (error != nullptr) *error = "unknown or closed session";
+    return false;
+  }
+  if (!s->schedule_fault(action, error)) return false;
+  // The action needs a service slice to enter the simulation timeline even
+  // if no run is queued behind it.
+  scheduler_.submit(s);
+  return true;
+}
+
 bool SessionServer::wait(SessionId id) {
   auto s = find(id);
   if (!s) return false;

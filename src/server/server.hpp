@@ -94,6 +94,13 @@ class SessionServer {
   /// Queue `duration` more biological time.  False for unknown/closed ids.
   bool run(SessionId id, TimeNs duration) SPINN_EXCLUDES(mu_);
 
+  /// Queue a fault action on the session's chaos schedule (it becomes a
+  /// root-actor simulation event at the session's next service slice).
+  /// False with a reason for unknown/closed ids or out-of-range
+  /// coordinates.
+  bool fault(SessionId id, const FaultAction& action,
+             std::string* error = nullptr) SPINN_EXCLUDES(mu_);
+
   /// Block until the session has no pending work.  False for unknown ids.
   bool wait(SessionId id) SPINN_EXCLUDES(mu_);
 

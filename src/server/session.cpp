@@ -39,24 +39,33 @@ void Session::build_locked() {
     // seed, making a pooled engine bit-indistinguishable from a fresh one.
     system_ = std::make_unique<System>(sys_cfg, *lease_);
     if (spec_.boot) boot_report_ = system_->boot();
-    load_report_ = system_->load(build_network(spec_));
+    // The network is retained for the session's life: fault-driven
+    // migrations regenerate routing from it against the live placement.
+    net_ = std::make_unique<neural::Network>(build_network(spec_));
+    load_report_ = system_->load(*net_);
     if (!load_report_.ok) {
       error_ = load_report_.error;
       state_ = SessionState::Failed;
       system_.reset();
       lease_.release();
+      net_.reset();
       return;
     }
     // Streaming mode: drained spikes are released, so a session's memory is
     // bounded by its drain interval rather than its total run length.
     system_->spikes().retain_drained(false);
     run_base_ = system_->now();
+    faults_ = std::make_unique<FaultController>(
+        *system_, *net_, load_report_.placement, sys_cfg.mapper, run_base_,
+        spec_.seed);
     state_ = SessionState::Ready;
   } catch (const std::exception& e) {
     error_ = e.what();
     state_ = SessionState::Failed;
     system_.reset();
     lease_.release();
+    faults_.reset();
+    net_.reset();
   }
 }
 
@@ -67,19 +76,25 @@ bool Session::service(TimeNs slice) {
   bool more = false;
   {
     MutexLock lk(&mu_);
-    if (state_ == SessionState::Pending) {
-      build_locked();
-    } else if (state_ != SessionState::Closed &&
-               state_ != SessionState::Failed && system_ &&
-               system_->now() < goal_locked()) {
-      state_ = SessionState::Running;
-      const TimeNs step = std::min(slice, goal_locked() - system_->now());
-      try {
-        system_->run(step);
-      } catch (const std::exception& e) {
-        error_ = e.what();
-        state_ = SessionState::Failed;
+    if (state_ == SessionState::Pending) build_locked();
+    if ((state_ == SessionState::Ready || state_ == SessionState::Running) &&
+        system_) {
+      // Queued faults become root-actor simulation events before any more
+      // biological time runs: the fault timeline is part of the run, not a
+      // side channel, which is what keeps serial, sharded and wire-driven
+      // executions bit-identical under chaos.
+      flush_faults_locked();
+      if (system_->now() < goal_locked()) {
+        state_ = SessionState::Running;
+        const TimeNs step = std::min(slice, goal_locked() - system_->now());
+        try {
+          system_->run(step);
+        } catch (const std::exception& e) {
+          error_ = e.what();
+          state_ = SessionState::Failed;
+        }
       }
+      poll_faults_locked();
     }
     more = work_pending_locked();
     if (!more) {
@@ -99,9 +114,60 @@ bool Session::work_pending_locked() const {
     case SessionState::Closed: return false;
     case SessionState::Ready:
     case SessionState::Running:
-      return system_ && system_->now() < goal_locked();
+      // Queued fault actions need a service slice to enter the simulation
+      // timeline even when no biological time is owed.
+      return system_ &&
+             (system_->now() < goal_locked() || !pending_faults_.empty());
   }
   return false;
+}
+
+bool Session::schedule_fault(const FaultAction& action, std::string* error) {
+  const auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (action.at < 0) return fail("fault time must be non-negative");
+  if (action.chip.x >= spec_.width || action.chip.y >= spec_.height) {
+    return fail("chip (" + std::to_string(action.chip.x) + "," +
+                std::to_string(action.chip.y) + ") outside the " +
+                std::to_string(spec_.width) + "x" +
+                std::to_string(spec_.height) + " machine");
+  }
+  if (action.kind == FaultAction::Kind::KillCore &&
+      action.core >= spec_.cores_per_chip) {
+    return fail("core " + std::to_string(action.core) +
+                " outside the chip's " +
+                std::to_string(spec_.cores_per_chip) + " cores");
+  }
+  MutexLock lk(&mu_);
+  if (state_ == SessionState::Closed || state_ == SessionState::Failed) {
+    return fail("session is " + std::string(to_string(state_)));
+  }
+  pending_faults_.push_back(action);
+  return true;
+}
+
+void Session::flush_faults_locked() {
+  if (!faults_ || pending_faults_.empty()) return;
+  for (const FaultAction& action : pending_faults_) {
+    faults_->schedule(action);
+  }
+  pending_faults_.clear();
+}
+
+void Session::poll_faults_locked() {
+  if (!faults_ || state_ == SessionState::Failed ||
+      state_ == SessionState::Closed) {
+    return;
+  }
+  std::string reason;
+  if (faults_->take_failure(&reason)) {
+    // A failed migration or a glitch-link deadlock-watchdog expiry is a
+    // session-fatal event with a quantified reason — never a silent stall.
+    error_ = reason;
+    state_ = SessionState::Failed;
+  }
 }
 
 bool Session::has_work() const {
@@ -148,6 +214,17 @@ SessionStatus Session::status() const {
   st.chips_alive = boot_report_.chips_alive;
   st.load_ok = load_report_.ok && system_ != nullptr;
   st.error = error_;
+  if (faults_) {
+    const FaultTotals ft = faults_->totals();
+    st.faults_scheduled = ft.scheduled + pending_faults_.size();
+    st.faults_executed = ft.executed;
+    st.migrations = ft.migrations;
+    st.routers_rewritten = ft.routers_rewritten;
+    st.recovery_ns = ft.recovery_ns;
+    st.spikes_lost = ft.spikes_lost;
+  } else {
+    st.faults_scheduled = pending_faults_.size();
+  }
   return st;
 }
 
@@ -162,8 +239,13 @@ bool Session::close(bool evicted) {
       evicted_ = evicted;
       // Destroy the machine before the engine lease goes back: the pool's
       // reset drops any still-queued event closures capturing machine state.
+      // The fault controller and the retained network outlive the lease
+      // release — queued fault/glitch closures point into them and are only
+      // dropped by the pool's engine reset.
       system_.reset();
       lease_.release();
+      faults_.reset();
+      net_.reset();
       idle_cv_.notify_all();
       fire.swap(idle_callbacks_);
     }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/thread_annotations.hpp"
+#include "core/fault_controller.hpp"
 #include "server/engine_pool.hpp"
 #include "server/spec.hpp"
 
@@ -55,6 +56,13 @@ struct SessionStatus {
   std::size_t chips_alive = 0;  // boot report (0 when spec.boot == false)
   bool load_ok = false;
   std::string error;
+  // Fault-schedule aggregates (all zero for a fault-free session).
+  std::size_t faults_scheduled = 0;
+  std::size_t faults_executed = 0;
+  std::size_t migrations = 0;
+  std::size_t routers_rewritten = 0;
+  TimeNs recovery_ns = 0;
+  std::uint64_t spikes_lost = 0;
 };
 
 class Session {
@@ -71,6 +79,15 @@ class Session {
   /// Extend the biological-time target.  Work happens on scheduler workers;
   /// returns false once the session is closed or failed.
   bool request_run(TimeNs duration) SPINN_EXCLUDES(mu_);
+
+  /// Queue a fault for the session's chaos schedule.  The action is
+  /// validated against the spec's machine dimensions here; it is handed to
+  /// the fault controller (and becomes a root-actor simulation event) at
+  /// the next service slice, so serial, sharded and wire-driven sessions
+  /// see the identical fault timeline.  False with a reason for
+  /// out-of-range coordinates or a closed/failed session.
+  bool schedule_fault(const FaultAction& action, std::string* error)
+      SPINN_EXCLUDES(mu_);
 
   /// Perform one work quantum on the calling (worker) thread: build the
   /// system if still Pending, else advance at most `slice` of biological
@@ -113,6 +130,11 @@ class Session {
 
  private:
   void build_locked() SPINN_REQUIRES(mu_);
+  /// Hand queued fault actions to the controller (root-event scheduling).
+  void flush_faults_locked() SPINN_REQUIRES(mu_);
+  /// Surface fatal fault outcomes — failed migrations, glitch-link
+  /// deadlock-watchdog expiries — as the failed session state.
+  void poll_faults_locked() SPINN_REQUIRES(mu_);
   bool work_pending_locked() const SPINN_REQUIRES(mu_);
   TimeNs goal_locked() const SPINN_REQUIRES(mu_) {
     return run_base_ + requested_;
@@ -136,6 +158,15 @@ class Session {
   std::unique_ptr<System> system_ SPINN_GUARDED_BY(mu_);
   boot::BootReport boot_report_ SPINN_GUARDED_BY(mu_);
   map::LoadReport load_report_ SPINN_GUARDED_BY(mu_);
+  /// The built network, retained for the session's life: the fault
+  /// controller's migrations regenerate routing from it against the live
+  /// placement (load_report_.placement).
+  std::unique_ptr<neural::Network> net_ SPINN_GUARDED_BY(mu_);
+  /// Fault orchestration; destroyed only after the engine lease resets the
+  /// event queue (queued fault/glitch closures point into it).
+  std::unique_ptr<FaultController> faults_ SPINN_GUARDED_BY(mu_);
+  /// Actions accepted before the next service slice hands them over.
+  std::vector<FaultAction> pending_faults_ SPINN_GUARDED_BY(mu_);
   std::size_t drained_total_ SPINN_GUARDED_BY(mu_) = 0;
   std::string error_ SPINN_GUARDED_BY(mu_);
   /// One-shot callbacks waiting for the next idle instant (see notify_idle).

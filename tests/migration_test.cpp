@@ -154,6 +154,85 @@ TEST(Migration, ErrorsWhenNoSpareExists) {
   EXPECT_NE(mig.error.find("spare"), std::string::npos);
 }
 
+TEST(Migration, RejectsMigratingTheMonitorCore) {
+  Rig rig;
+  ASSERT_TRUE(rig.report.ok);
+  map::Migrator migrator(rig.net, rig.report.placement,
+                         small_system().mapper);
+  const ChipCoord chip{0, 0};
+  // Unbooted machines have no elected monitor yet; the migrator reserves
+  // core 0 (the election fallback) in that case.
+  const auto elected = rig.sys.machine().chip_at(chip).monitor_core();
+  const CoreIndex monitor = elected.value_or(0);
+  const auto mig = migrator.migrate(rig.sys.machine(), CoreId{chip, monitor});
+  EXPECT_FALSE(mig.ok);
+  EXPECT_NE(mig.error.find("monitor"), std::string::npos) << mig.error;
+  // The chip's operating system is untouched by the rejected request.
+  EXPECT_EQ(rig.sys.machine().chip_at(chip).monitor_core(), elected);
+}
+
+TEST(Migration, NoSpareErrorQuantifiesTheExhaustion) {
+  // Same machine-exactly-full rig as ErrorsWhenNoSpareExists; here the
+  // point is the error's *content*: it must tell the operator how full the
+  // machine is, not just that the migration lost.
+  SystemConfig cfg;
+  cfg.machine.width = 1;
+  cfg.machine.height = 1;
+  cfg.machine.chip.num_cores = 3;  // 1 monitor-reserved + 2 app cores
+  cfg.mapper.neurons_per_core = 64;
+  System sys(cfg);
+  neural::Network net;
+  const auto a = net.add_poisson("a", 32, 10.0);
+  const auto b = net.add_lif("b", 32);
+  net.connect(a, b, neural::Connector::one_to_one(),
+              neural::ValueDist::fixed(1.0), neural::ValueDist::fixed(1.0));
+  auto report = sys.load(net);
+  ASSERT_TRUE(report.ok);
+  map::Migrator migrator(net, report.placement, cfg.mapper);
+  const CoreId victim =
+      report.placement.slices[report.placement.by_population[b][0]].core;
+  const auto mig = migrator.migrate(sys.machine(), victim);
+  ASSERT_FALSE(mig.ok);
+  EXPECT_NE(mig.error.find("no spare application core available"),
+            std::string::npos)
+      << mig.error;
+  EXPECT_NE(
+      mig.error.find("2 slices resident on 2 usable app cores across 1 "
+                     "alive chips"),
+      std::string::npos)
+      << mig.error;
+}
+
+TEST(Migration, ReconfigurationEstimateTracksEntriesWritten) {
+  Rig rig;
+  ASSERT_TRUE(rig.report.ok);
+  map::Migrator migrator(rig.net, rig.report.placement,
+                         small_system().mapper);
+  const auto first = migrator.migrate(rig.sys.machine(), rig.core_of(rig.dst));
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_GT(first.entries_written, 0u);
+  EXPECT_GT(first.reconfiguration_estimate_ns, 0);
+  // The estimate models one monitor-driven p2p table write per entry.
+  EXPECT_EQ(first.reconfiguration_estimate_ns,
+            static_cast<TimeNs>(first.entries_written) * kMicrosecond);
+  const auto second =
+      migrator.migrate(rig.sys.machine(), rig.core_of(rig.src));
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_EQ(second.reconfiguration_estimate_ns,
+            static_cast<TimeNs>(second.entries_written) * kMicrosecond);
+  // Monotone in the work done: more table entries, longer reconfiguration.
+  if (first.entries_written < second.entries_written) {
+    EXPECT_LT(first.reconfiguration_estimate_ns,
+              second.reconfiguration_estimate_ns);
+  } else if (first.entries_written > second.entries_written) {
+    EXPECT_GT(first.reconfiguration_estimate_ns,
+              second.reconfiguration_estimate_ns);
+  } else {
+    EXPECT_EQ(first.reconfiguration_estimate_ns,
+              second.reconfiguration_estimate_ns);
+  }
+}
+
 TEST(Migration, RepeatedMigrationsStayConsistent) {
   Rig rig;
   ASSERT_TRUE(rig.report.ok);

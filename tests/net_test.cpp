@@ -144,7 +144,7 @@ TEST(NetServer, NetstatsReportsEveryCounter) {
   // were exactly that).
   for (const char* field :
        {"accepted=", "refused=", "shed_slow=", "shed_flood=", "frames_in=",
-        "frames_out=", "batches=", "bytes_in=", "bytes_out=",
+        "frames_out=", "batches=", "faults=", "bytes_in=", "bytes_out=",
         "connections=", "reactors="}) {
     EXPECT_NE(resp.find(field), std::string::npos) << field;
   }

@@ -1,0 +1,23 @@
+// Seeded violation: a blocking sleep inside a FaultController method.
+// Fault entry points execute as root-actor events inside the engine's
+// event loop — a blocking call there stalls the whole machine at a global
+// quiesce point, so the lint must catch it in any FaultController body,
+// not just a hardcoded method name.
+// lint-expect: fault-blocking
+// lint-path: src/core/fault_controller.cpp
+#include <chrono>
+#include <thread>
+
+namespace spinn {
+
+class FaultController {
+  void kill_core(unsigned index);
+};
+
+void FaultController::kill_core(unsigned index) {
+  // Waiting for the victim to "settle" looks harmless and isn't: the
+  // engine cannot advance past this event while we sleep.
+  std::this_thread::sleep_for(std::chrono::microseconds(index));
+}
+
+}  // namespace spinn

@@ -22,6 +22,12 @@ repo-wide discipline whose rationale lives where the discipline does:
   reactor-loop        Unbounded loops (for(;;)/while(true)) inside a reactor
                       event-loop body must contain a break or return — the
                       epoll loop itself is bounded by stopping_.
+  fault-blocking      FaultController entry points execute inside the
+                      engine's event loop as root-actor events (and under
+                      the owning session's lock): no method body in
+                      src/core/fault_controller.cpp may block — a sleep or
+                      join inside a fault event stalls the whole engine at
+                      a global quiesce point.
   frame-throw         The frame decode path (src/net/frame.*) is noexcept:
                       no `throw`, and FrameDecoder::next stays declared
                       noexcept (an exception unwinding the reactor thread
@@ -66,6 +72,9 @@ REACTOR_FILES = ("src/net/server.cpp", "src/net/reactor.cpp")
 # The file that must contain at least one loop body — scanning zero bodies
 # anywhere would mean the rules silently stopped running.
 REACTOR_LOOP_HOME = "src/net/reactor.cpp"
+# Fault-controller entry points run as root-actor events inside the engine
+# loop: the same no-blocking discipline as the reactors.
+FAULT_FILE = "src/core/fault_controller.cpp"
 ALLOW_WINDOW = 40
 
 RAW_MUTEX = re.compile(
@@ -85,6 +94,9 @@ UNBOUNDED_LOOP = re.compile(r"\bfor\s*\(\s*;;\s*\)|\bwhile\s*\(\s*true\s*\)")
 # Any out-of-line *loop* method of the reactor classes: loop, drive_loop,
 # accept_loop...  The brace matcher then isolates the definition body.
 REACTOR_LOOP_DECL = re.compile(r"\b(?:NetServer|Reactor)::\w*loop\w*\s*\(")
+# Any out-of-line FaultController method: schedule, execute, kill_core...
+# New entry points are covered the day they are written.
+FAULT_ENTRY_DECL = re.compile(r"\bFaultController::\w+\s*\(")
 BAD_INCLUDE = re.compile(r'#\s*include\s*"([^"]+)"')
 NO_TSA = re.compile(r"\bSPINN_NO_THREAD_SAFETY_ANALYSIS\b")
 ALLOW = re.compile(r"lint:allow\(([a-z-]+)\)")
@@ -264,6 +276,31 @@ def scan_file(rel_path, raw_text):
             report("reactor-blocking", 1,
                    "no Reactor::*loop* body found — reactor rules cannot "
                    "run")
+
+    # fault-blocking: every FaultController method body in the controller
+    # file — they run as root-actor events inside the engine's event loop,
+    # where one blocking call stalls the machine at a quiesce point.
+    if rel_path == FAULT_FILE:
+        bodies_scanned = 0
+        for decl in FAULT_ENTRY_DECL.finditer(code):
+            start, end = brace_matched_region(code, decl.end())
+            if start < 0:
+                continue
+            bodies_scanned += 1
+            body = code[start:end]
+            body_first_line = line_of(code, start)
+            for off, line in enumerate(body.splitlines()):
+                m = BLOCKING_CALL.search(line)
+                if m:
+                    report(
+                        "fault-blocking", body_first_line + off,
+                        f"blocking call {m.group(0).strip()}...) inside "
+                        f"{decl.group(0).strip()}...) stalls the engine "
+                        "at a fault quiesce point")
+        if bodies_scanned == 0:
+            report("fault-blocking", 1,
+                   "no FaultController method body found — fault rules "
+                   "cannot run")
 
     # frame-throw: the decode path stays exception-free and noexcept.
     if rel_path in ("src/net/frame.cpp", "src/net/frame.hpp"):
