@@ -21,6 +21,7 @@
 
 #include "core/spinnaker.hpp"
 #include "harness.hpp"
+#include "sim/stats.hpp"
 
 namespace {
 
@@ -29,7 +30,7 @@ using namespace spinn;
 constexpr TimeNs kBioPerSession = 10 * kMillisecond;
 constexpr int kSessionsPerRound = 16;
 
-using spinn::bench::percentile;
+using spinn::sim::percentile;
 
 /// Wall-clock of one server API call, appended to `lat_us`.
 template <class F>

@@ -15,6 +15,7 @@
 #include "core/fault_controller.hpp"
 #include "core/system.hpp"
 #include "harness.hpp"
+#include "sim/stats.hpp"
 #include "server/spec.hpp"
 
 namespace {
@@ -161,8 +162,8 @@ int main(int argc, char** argv) {
                 "%.1f routers rewritten each\n",
                 trials, migrations, routers_per_migration);
   });
-  const double p50 = spinn::bench::percentile(recovery_us, 0.50);
-  const double p99 = spinn::bench::percentile(recovery_us, 0.99);
+  const double p50 = spinn::sim::percentile(recovery_us, 0.50);
+  const double p99 = spinn::sim::percentile(recovery_us, 0.99);
   std::printf("  recovery window: p50=%.1f us  p99=%.1f us  (n=%zu)\n",
               p50, p99, recovery_us.size());
 

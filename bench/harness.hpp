@@ -31,16 +31,9 @@
 
 namespace spinn::bench {
 
-/// Linear-interpolated percentile of a sample set (p in [0, 1]); 0 when
-/// empty.  Shared by the benches that publish p50/p99 latency metrics.
-inline double percentile(std::vector<double> xs, double p) {
-  if (xs.empty()) return 0.0;
-  std::sort(xs.begin(), xs.end());
-  const double pos = p * static_cast<double>(xs.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
-  return xs[lo] + (xs[hi] - xs[lo]) * (pos - static_cast<double>(lo));
-}
+// Percentiles live in sim/stats.hpp (spinn::sim::percentile); benches that
+// publish p50/p99 metrics include that directly rather than keeping a
+// second interpolation rule here.
 
 class Harness {
  public:

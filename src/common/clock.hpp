@@ -1,0 +1,41 @@
+// Wall-clock helper for the observability layer: monotonic nanoseconds
+// since the process's first use, cheap enough for per-frame hot paths.
+//
+// Two clock domains coexist in a trace (docs/OBSERVABILITY.md):
+//  * wall time — WallClock::now_ns(), for real latencies (request service,
+//    window/barrier durations, session build time);
+//  * virtual time — the simulation's own TimeNs, for events that must be
+//    bit-identical across serial/sharded/wire executions (the fault →
+//    migrate → resume spans).  Virtual timestamps come from the engine, not
+//    from here.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace spinn {
+
+class WallClock {
+ public:
+  /// Monotonic nanoseconds since the first call in this process.  The
+  /// epoch subtraction keeps timestamps small enough that a Chrome trace
+  /// viewer's microsecond axis starts near zero.
+  static std::int64_t now_ns() noexcept {
+    const std::int64_t t = raw_ns();
+    return t - epoch_ns();
+  }
+
+ private:
+  static std::int64_t raw_ns() noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  static std::int64_t epoch_ns() noexcept {
+    // Magic-static: initialised once, thread-safe, then a plain load.
+    static const std::int64_t epoch = raw_ns();
+    return epoch;
+  }
+};
+
+}  // namespace spinn

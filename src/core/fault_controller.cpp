@@ -2,12 +2,25 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace spinn {
 
 namespace {
 
 std::string coord(ChipCoord c) {
   return std::to_string(c.x) + "," + std::to_string(c.y);
+}
+
+obs::Counter& faults_metric() {
+  static obs::Counter& c = obs::Registry::global().counter("fault.executed");
+  return c;
+}
+obs::Counter& migrations_metric() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("fault.migrations");
+  return c;
 }
 
 }  // namespace
@@ -56,11 +69,25 @@ void FaultController::execute(std::size_t index) {
   FaultRecord& r = records_[index];
   r.executed = true;
   r.executed_at = system_.now();
+  // Fault spans are stamped with VIRTUAL time (the simulation's own
+  // clock), so the fault → quiesce → migrate → resume event structure is
+  // bit-identical across serial, sharded and wire-driven executions of
+  // the same scenario — the determinism contract extended to the trace.
+  faults_metric().inc();
+  obs::Tracer::global().instant("fault", "fault.inject", r.executed_at,
+                                "index", index, /*virtual_clock=*/true);
   switch (r.action.kind) {
     case FaultAction::Kind::KillCore: kill_core(index); break;
     case FaultAction::Kind::KillChip: kill_chip(index); break;
     case FaultAction::Kind::GlitchLink: glitch_link(index); break;
     case FaultAction::Kind::HealLink: heal_link(index); break;
+  }
+  if (r.migrations > 0) {
+    migrations_metric().inc(r.migrations);
+    obs::Tracer::global().complete(
+        "fault", "fault.migrate", r.executed_at,
+        std::max<TimeNs>(r.recovery_ns, 1), "migrations", r.migrations,
+        /*virtual_clock=*/true);
   }
 }
 
@@ -70,6 +97,8 @@ void FaultController::kill_core(std::size_t index) {
   const CoreId victim{r.action.chip, r.action.core};
   chip::Core& core = machine.chip_at(victim.chip).core(victim.core);
   core.mark_failed();  // quiesce: the victim takes no further interrupts
+  obs::Tracer::global().instant("fault", "fault.quiesce", r.executed_at,
+                                "index", index, /*virtual_clock=*/true);
 
   map::Migrator migrator(net_, placement_, mapper_);
   r.migration = migrator.migrate(machine, victim);
@@ -93,6 +122,8 @@ void FaultController::kill_chip(std::size_t index) {
   FaultRecord& r = records_[index];
   mesh::Machine& machine = system_.machine();
   machine.fail_chip(r.action.chip);
+  obs::Tracer::global().instant("fault", "fault.quiesce", r.executed_at,
+                                "index", index, /*virtual_clock=*/true);
 
   // Collect the resident slices before migrations mutate the placement.
   std::vector<CoreId> victims;
@@ -172,9 +203,14 @@ void FaultController::arm_loss_probe(std::size_t index) {
   const std::uint64_t before = dropped_now();
   const TimeNs window_end =
       system_.now() + std::max<TimeNs>(records_[index].recovery_ns, 1);
-  system_.simulator().at(window_end, [this, index, before] {
+  system_.simulator().at(window_end, [this, index, before, window_end] {
     records_[index].spikes_lost = dropped_now() - before;
     records_[index].spikes_lost_final = true;
+    // The recovery window closing is the "resume" instant: reconfiguration
+    // is complete, losses are accounted.  Virtual time, like the rest of
+    // the fault spans.
+    obs::Tracer::global().instant("fault", "fault.resume", window_end,
+                                  "index", index, /*virtual_clock=*/true);
   });
 }
 

@@ -8,6 +8,9 @@
 #include <limits>
 #include <cstring>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace spinn::net {
 
 namespace {
@@ -995,6 +998,65 @@ bool Request::advance() {
   if (response_.empty()) respond("err empty request");
   done_ = true;
   return true;
+}
+
+std::string format_metrics(const NetStats& net,
+                           const server::ServerStats& srv) {
+  // Two sections, one stability contract each: the derived `net.*` /
+  // `server.*` fields are pinned in this order (append-only, like
+  // `netstats`); the registry rows after them are sorted by name, so a new
+  // metric inserts without reordering what a client already parses.
+  std::vector<std::pair<std::string, std::uint64_t>> rows = {
+      {"net.accepted", net.accepted},
+      {"net.refused", net.refused},
+      {"net.shed_slow", net.shed_slow},
+      {"net.shed_flood", net.shed_flood},
+      {"net.frames_in", net.frames_in},
+      {"net.frames_out", net.frames_out},
+      {"net.batches", net.batches},
+      {"net.faults", net.faults},
+      {"net.bytes_in", net.bytes_in},
+      {"net.bytes_out", net.bytes_out},
+      {"net.connections", net.connections},
+      {"net.reactors", net.reactors},
+      {"server.opened", srv.opened},
+      {"server.rejected", srv.rejected},
+      {"server.rejected_cost", srv.rejected_cost},
+      {"server.closed", srv.closed},
+      {"server.evicted", srv.evicted},
+      {"server.resident", srv.resident},
+      {"server.cost_resident", srv.cost_resident},
+      {"server.cost_budget", srv.cost_budget},
+      {"server.queue_depth", srv.queue_depth},
+      {"server.engines.created", srv.engines.created},
+      {"server.engines.reused", srv.engines.reused},
+      {"server.engines.idle", srv.engines.idle},
+  };
+  for (auto& row : obs::Registry::global().rows()) {
+    rows.push_back(std::move(row));
+  }
+  std::string out = "metrics " + u64(rows.size());
+  for (const auto& [name, value] : rows) {
+    out += "\n" + name + " " + u64(value);
+  }
+  return out;
+}
+
+std::string handle_trace(const std::string& line, bool allow_trace) {
+  if (!allow_trace) return "err trace disabled";
+  const std::vector<std::string> tokens = tokenize(line);
+  if (tokens.size() == 2 && tokens[1] == "start") {
+    obs::Tracer::global().set_enabled(true);
+    return "ok trace on";
+  }
+  if (tokens.size() == 2 && tokens[1] == "stop") {
+    obs::Tracer::global().set_enabled(false);
+    return "ok trace off";
+  }
+  if (tokens.size() == 2 && tokens[1] == "dump") {
+    return obs::Tracer::global().dump_json();
+  }
+  return "err usage: trace start|stop|dump";
 }
 
 std::string format_netstats(const NetStats& s) {

@@ -160,4 +160,18 @@ bool parse_open_id(const std::string& response, server::SessionId* id);
 /// every reactor's counter shard).
 std::string format_netstats(const NetStats& stats);
 
+/// Render the `metrics` verb's response: `metrics <n>` then n `name value`
+/// lines.  The transport/server derived fields come first in pinned order
+/// (`net.*` from the aggregated NetStats, `server.*` from ServerStats —
+/// the same append-only stability contract as `netstats`), followed by the
+/// process-wide obs::Registry rows sorted by name (histograms expand to
+/// `.count/.p50/.p95/.p99`).  docs/OBSERVABILITY.md holds the transcript.
+std::string format_metrics(const NetStats& net, const server::ServerStats& srv);
+
+/// Execute a `trace start|stop|dump` command line against the process-wide
+/// obs::Tracer and return the response block: `ok trace on|off`, a Chrome
+/// trace_event JSON document (`dump`), or an `err ...` line (unknown
+/// subcommand, or `allow_trace` false — NetConfig gates the verb).
+std::string handle_trace(const std::string& line, bool allow_trace);
+
 }  // namespace spinn::net

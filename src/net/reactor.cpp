@@ -15,9 +15,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/thread_annotations.hpp"
 #include "net/frame.hpp"
 #include "net/protocol.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace spinn::net {
 
@@ -132,6 +135,10 @@ struct Reactor::Impl {
     /// forever, which would busy-spin a level-triggered loop).
     bool draining = false;
     std::uint32_t events = 0;        // epoll mask currently installed
+    /// Wall timestamp at which `active` was popped from the inbox — the
+    /// start of the request-latency span (net.request_ns includes park
+    /// time: it measures what the client experiences, decode-to-response).
+    std::int64_t active_start_ns = 0;
 
     Conn(Fd f, std::uint64_t cid, std::size_t max_frame)
         : fd(std::move(f)), id(cid), dec(max_frame) {}
@@ -203,6 +210,12 @@ void Reactor::loop() {
   const NetConfig& cfg = srv_.cfg_;
   server::SessionServer& sessions = srv_.sessions_;
   const bool accepting = index_ == 0;
+  // Telemetry handles, resolved once per reactor: registration is the cold
+  // locked path, the references are stable for the registry's life, and
+  // observing through them is lock-free (docs/OBSERVABILITY.md).
+  obs::Histogram& req_hist = obs::Registry::global().histogram(
+      "net.request_ns", 0, 100'000'000, 2000);
+  obs::Tracer& tracer = obs::Tracer::global();
   const auto bump = [&](auto member, std::uint64_t by = 1) {
     MutexLock lk(&im.stats_mu);
     im.stats.*member += by;
@@ -229,6 +242,9 @@ void Reactor::loop() {
 
   const auto flush = [&](Impl::Conn& conn) {
     if (conn.dead) return false;
+    const std::int64_t t0 = WallClock::now_ns();
+    const std::size_t pos0 = conn.out_pos;
+    bool alive = true;
     while (conn.out_pos < conn.outbox.size()) {
       // MSG_NOSIGNAL: a reset peer must be an EPIPE shed, not a
       // process-killing SIGPIPE.
@@ -239,14 +255,22 @@ void Reactor::loop() {
         conn.out_pos += static_cast<std::size_t>(sent);
         continue;
       }
-      if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
       if (sent < 0 && errno == EINTR) continue;
       shed(conn, nullptr);  // peer gone mid-write
-      return false;
+      alive = false;
+      break;
     }
-    conn.outbox.clear();
-    conn.out_pos = 0;
-    return true;
+    const std::size_t wired = conn.out_pos - pos0;
+    if (alive && conn.out_pos >= conn.outbox.size()) {
+      conn.outbox.clear();
+      conn.out_pos = 0;
+    }
+    if (wired > 0) {
+      tracer.complete("net", "net.flush", t0, WallClock::now_ns() - t0,
+                      "bytes", wired);
+    }
+    return alive;
   };
 
   // Backpressure point, checked after every appended response.  Two
@@ -280,31 +304,58 @@ void Reactor::loop() {
       if (conn.parked) return true;
       if (!conn.active) {
         if (conn.inbox.empty()) return true;
-        // `netstats` is the transport's own counter dump — answered by the
-        // reactor, invisible to the session layer (and not batchable).
-        // The response aggregates every reactor's shard (srv_.stats()
-        // takes each shard's stats lock in turn, never two at once).
-        if (conn.inbox.front() == "netstats") {
+        // `netstats`, `metrics` and `trace` are the transport's own
+        // verbs — answered by the reactor, invisible to the session layer
+        // (and not batchable).  The counter dumps aggregate every
+        // reactor's shard (srv_.stats() snapshots one shard's stats lock
+        // at a time, never two at once).
+        const std::string& front = conn.inbox.front();
+        const bool is_trace =
+            front == "trace" || front.rfind("trace ", 0) == 0;
+        if (front == "netstats" || front == "metrics" || is_trace) {
+          std::string resp;
+          if (front == "netstats") {
+            resp = format_netstats(srv_.stats());
+          } else if (front == "metrics") {
+            resp = format_metrics(srv_.stats(), sessions.stats());
+          } else {
+            resp = handle_trace(front, cfg.allow_trace);
+          }
           conn.inbox.pop_front();
-          const std::string resp = format_netstats(srv_.stats());
           append_frame(conn.outbox, resp);
-          bump(&NetStats::frames_out);
-          bump(&NetStats::bytes_out, kFrameHeader + resp.size());
+          {
+            // One lock acquisition for the correlated counters, so a
+            // concurrent scrape can never see the frame counted but its
+            // bytes missing (or vice versa).
+            MutexLock lk(&im.stats_mu);
+            im.stats.frames_out += 1;
+            im.stats.bytes_out += kFrameHeader + resp.size();
+          }
           if (over_backlog(conn, kFrameHeader + resp.size())) return false;
           continue;
         }
         conn.active = std::make_unique<Request>(sessions, conn.inbox.front());
+        conn.active_start_ns = WallClock::now_ns();
         conn.inbox.pop_front();
         if (conn.active->commands() > 1) bump(&NetStats::batches);
       }
       if (conn.active->advance()) {
         const std::string& resp = conn.active->response();
         append_frame(conn.outbox, resp);
-        bump(&NetStats::frames_out);
-        bump(&NetStats::bytes_out, kFrameHeader + resp.size());
-        if (conn.active->faults_scheduled() > 0) {
-          bump(&NetStats::faults, conn.active->faults_scheduled());
+        {
+          // Correlated counters under one acquisition (see above): a
+          // scrape sees this response's frame, bytes and faults together
+          // or not at all.
+          MutexLock lk(&im.stats_mu);
+          im.stats.frames_out += 1;
+          im.stats.bytes_out += kFrameHeader + resp.size();
+          im.stats.faults += conn.active->faults_scheduled();
         }
+        const std::int64_t now_ns = WallClock::now_ns();
+        req_hist.observe(now_ns - conn.active_start_ns);
+        tracer.complete("net", "net.request", conn.active_start_ns,
+                        now_ns - conn.active_start_ns, "commands",
+                        conn.active->commands());
         const std::size_t frame_bytes = kFrameHeader + resp.size();
         conn.active.reset();
         if (over_backlog(conn, frame_bytes)) return false;
@@ -336,12 +387,23 @@ void Reactor::loop() {
     for (;;) {
       const ssize_t got = ::recv(conn.fd.get(), buf, sizeof buf, 0);
       if (got > 0) {
-        bump(&NetStats::bytes_in, static_cast<std::uint64_t>(got));
         conn.dec.feed(buf, static_cast<std::size_t>(got));
+        std::uint64_t frames = 0;
         std::string frame;
         while (conn.dec.next(&frame)) {
-          bump(&NetStats::frames_in);
+          ++frames;
+          tracer.instant("net", "frame.decode", WallClock::now_ns(), "bytes",
+                         frame.size());
           conn.inbox.push_back(std::move(frame));
+        }
+        {
+          // The recv's bytes and the frames decoded from them land under
+          // one lock acquisition, so a concurrent scrape never sees the
+          // bytes counted with their frames missing (the torn-total bug
+          // this grouping fixed).
+          MutexLock lk(&im.stats_mu);
+          im.stats.bytes_in += static_cast<std::uint64_t>(got);
+          im.stats.frames_in += frames;
         }
         if (conn.dec.overflowed() || conn.inbox.size() > cfg.max_pipeline) {
           shed(conn, &NetStats::shed_flood);

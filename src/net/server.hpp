@@ -74,6 +74,11 @@ struct NetConfig {
   /// submissions signal the reactor through the work hook, and wait()
   /// blocks the caller, not the reactor.
   bool reactor_drives = false;
+  /// Gate for the `trace start|stop|dump` verb.  Tracing is process-wide
+  /// state (obs::Tracer), so a deployment serving untrusted clients can
+  /// turn the verb off wholesale; `metrics` and `netstats` are read-only
+  /// and always available.
+  bool allow_trace = true;
   /// The embedded session server (workers, slice, max_sessions,
   /// cost_budget, engine pool).
   server::ServerConfig session;

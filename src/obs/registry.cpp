@@ -1,0 +1,105 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+
+namespace spinn::obs {
+
+namespace detail {
+
+std::size_t this_thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % Counter::kShards;
+  return shard;
+}
+
+}  // namespace detail
+
+Histogram::Histogram(std::int64_t lo, std::int64_t hi, std::size_t bins)
+    : lo_(lo),
+      hi_(hi > lo ? hi : lo + 1),
+      counts_(bins > 0 ? bins : 1) {}
+
+std::int64_t Histogram::percentile(double p) const {
+  // Relaxed snapshot first: the bins keep moving under us, and interpolating
+  // over a fixed copy is what keeps the answer internally consistent.
+  std::vector<std::uint64_t> snap(counts_.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    snap[i] = counts_[i].load(std::memory_order_relaxed);
+    total += snap[i];
+  }
+  if (total == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const double target = p * static_cast<double>(total);
+  const double width = static_cast<double>(hi_ - lo_) /
+                       static_cast<double>(counts_.size());
+  double seen = 0.0;
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    const double next = seen + static_cast<double>(snap[i]);
+    if (next >= target && snap[i] > 0) {
+      const double frac = (target - seen) / static_cast<double>(snap[i]);
+      const double lo_edge = static_cast<double>(lo_) +
+                             width * static_cast<double>(i);
+      return static_cast<std::int64_t>(lo_edge + frac * width);
+    }
+    seen = next;
+  }
+  return hi_;
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // leaked: see header
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  MutexLock lk(&mu_);
+  Metric& m = metrics_[name];
+  if (!m.counter) m.counter = std::make_unique<Counter>();
+  return *m.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  MutexLock lk(&mu_);
+  Metric& m = metrics_[name];
+  if (!m.gauge) m.gauge = std::make_unique<Gauge>();
+  return *m.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::int64_t lo,
+                               std::int64_t hi, std::size_t bins) {
+  MutexLock lk(&mu_);
+  Metric& m = metrics_[name];
+  if (!m.histogram) m.histogram = std::make_unique<Histogram>(lo, hi, bins);
+  return *m.histogram;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::rows() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  MutexLock lk(&mu_);
+  for (const auto& [name, m] : metrics_) {
+    if (m.counter) out.emplace_back(name, m.counter->value());
+    if (m.gauge) {
+      out.emplace_back(name,
+                       static_cast<std::uint64_t>(m.gauge->value()));
+    }
+    if (m.histogram) {
+      out.emplace_back(name + ".count", m.histogram->count());
+      out.emplace_back(
+          name + ".p50",
+          static_cast<std::uint64_t>(m.histogram->percentile(0.50)));
+      out.emplace_back(
+          name + ".p95",
+          static_cast<std::uint64_t>(m.histogram->percentile(0.95)));
+      out.emplace_back(
+          name + ".p99",
+          static_cast<std::uint64_t>(m.histogram->percentile(0.99)));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace spinn::obs

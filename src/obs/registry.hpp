@@ -1,0 +1,169 @@
+// obs::Registry — the server's one metrics namespace.
+//
+// A million-core machine is only operable if every layer reports into one
+// place (ISSUE 9 / docs/OBSERVABILITY.md).  The registry holds three metric
+// kinds, all built for hot-path increments and scrape-time aggregation:
+//
+//  * Counter   — monotone u64, sharded across cache-line-padded atomic
+//                slots so concurrent reactors/workers never bounce a line;
+//                inc() is one relaxed fetch_add, value() sums at scrape.
+//  * Gauge     — last-write-wins i64 (queue depth, residency).
+//  * Histogram — fixed-bin atomic counts over [lo, hi) with clamped end
+//                bins, exposing count/p50/p95/p99 at scrape time via the
+//                same bin interpolation as sim::Histogram.
+//
+// Lock discipline: metric *registration* (find-or-create by name) takes the
+// registry mutex and belongs in constructors/setup paths, which then hold
+// plain references for the object's life (entries are never removed, so
+// references never dangle).  The increment paths — inc/set/observe — take
+// no lock and allocate nothing; tools/lint_invariants.py's `obs-hot-path`
+// rule enforces that on every `// obs:hot` body in this file.
+//
+// The wire surface is the `metrics` verb (net/protocol.cpp): the derived
+// NetStats/ServerStats fields in pinned order, then this registry's rows()
+// sorted by name.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace spinn::obs {
+
+namespace detail {
+/// The calling thread's counter shard.  Assigned round-robin on first use
+/// (one relaxed fetch_add per thread, ever): no lock, no allocation.
+std::size_t this_thread_shard() noexcept;
+}  // namespace detail
+
+/// Monotone counter, sharded to keep concurrent increments off each
+/// other's cache lines.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  // obs:hot — metric-increment path: no locks, no allocation.
+  void inc(std::uint64_t by = 1) noexcept {
+    shards_[detail::this_thread_shard()].v.fetch_add(
+        by, std::memory_order_relaxed);
+  }
+
+  /// Scrape-time sum over the shards.  Each shard is individually monotone
+  /// under relaxed loads, so successive scrapes never go backwards.
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Slot& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Slot shards_[kShards];
+};
+
+/// Last-write-wins level (queue depth, occupancy).
+class Gauge {
+ public:
+  // obs:hot — metric-update path: no locks, no allocation.
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bin latency histogram over [lo_ns, hi_ns); out-of-range samples
+/// clamp to the end bins (nothing is silently dropped), so percentile()
+/// saturates at hi for outliers rather than inventing a tail.
+class Histogram {
+ public:
+  Histogram(std::int64_t lo, std::int64_t hi, std::size_t bins);
+
+  // obs:hot — metric-increment path: no locks, no allocation.
+  void observe(std::int64_t x) noexcept {
+    std::int64_t bin = (x - lo_) * static_cast<std::int64_t>(counts_.size()) /
+                       (hi_ - lo_);
+    if (bin < 0) bin = 0;
+    const auto last = static_cast<std::int64_t>(counts_.size()) - 1;
+    if (bin > last) bin = last;
+    counts_[static_cast<std::size_t>(bin)].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(static_cast<std::uint64_t>(x < 0 ? 0 : x),
+                   std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+  /// Bin-interpolated percentile (p in [0, 1]) of everything observed so
+  /// far, rounded to integer units; 0 when empty.  Same interpolation rule
+  /// as sim::Histogram::percentile, over a relaxed snapshot of the bins.
+  std::int64_t percentile(double p) const;
+
+  std::int64_t lo() const noexcept { return lo_; }
+  std::int64_t hi() const noexcept { return hi_; }
+
+ private:
+  std::int64_t lo_;
+  std::int64_t hi_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+class Registry {
+ public:
+  /// The process-wide registry every layer reports into.  Never destroyed
+  /// (metrics may be touched from thread_local destructors at exit).
+  static Registry& global();
+
+  /// Find-or-create by name.  Takes the registry lock — setup paths only;
+  /// hold the returned reference (stable for the registry's life) for
+  /// hot-path use.  A histogram re-registered under an existing name keeps
+  /// the original's range.
+  Counter& counter(const std::string& name) SPINN_EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name) SPINN_EXCLUDES(mu_);
+  Histogram& histogram(const std::string& name, std::int64_t lo,
+                       std::int64_t hi, std::size_t bins)
+      SPINN_EXCLUDES(mu_);
+
+  /// Scrape: one `{name, value}` row per counter/gauge, and four rows per
+  /// histogram (`<name>.count`, `.p50`, `.p95`, `.p99` — integer units),
+  /// sorted by name.  Counters and histogram counts are monotone across
+  /// successive scrapes.
+  std::vector<std::pair<std::string, std::uint64_t>> rows() const
+      SPINN_EXCLUDES(mu_);
+
+ private:
+  struct Metric {
+    // Exactly one is set; a tiny hand-rolled variant keeps the storage
+    // stable (unique_ptr) without RTTI.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable Mutex mu_;
+  std::map<std::string, Metric> metrics_ SPINN_GUARDED_BY(mu_);
+};
+
+}  // namespace spinn::obs

@@ -1,0 +1,151 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace spinn::obs {
+
+namespace {
+
+std::string json_escape(const char* s) {
+  // Span names are string literals we control, but the dump should never be
+  // able to produce invalid JSON regardless.
+  std::string out;
+  for (const char* p = s; p != nullptr && *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      static const char* hex = "0123456789abcdef";
+      out += "\\u00";
+      out.push_back(hex[(c >> 4) & 0xf]);
+      out.push_back(hex[c & 0xf]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string micros(std::int64_t ns) {
+  // Chrome's ts/dur axis is microseconds; emit ns precision as a zero-padded
+  // 3-digit fraction (5 ns must read ".005", not ".5").
+  const std::int64_t us = ns / 1000;
+  const std::int64_t frac = ((ns % 1000) + 1000) % 1000;
+  std::string f = std::to_string(frac);
+  return std::to_string(us) + "." + std::string(3 - f.size(), '0') + f;
+}
+
+}  // namespace
+
+/// RAII registrar living in a thread_local: acquires a ring on construction
+/// (first trace call on this thread) and releases it when the thread exits.
+struct TracerThreadHandle {
+  TracerThreadHandle() { ring = Tracer::global().acquire_ring(&index); }
+  ~TracerThreadHandle() { Tracer::global().release_ring(index); }
+  TraceRing<Tracer::kWords>* ring = nullptr;
+  std::size_t index = 0;
+};
+
+Tracer& Tracer::global() {
+  static Tracer* t = new Tracer();  // leaked: see header
+  return *t;
+}
+
+TraceRing<Tracer::kWords>* Tracer::this_thread_ring() noexcept {
+  thread_local TracerThreadHandle handle;
+  return handle.ring;
+}
+
+TraceRing<Tracer::kWords>* Tracer::acquire_ring(std::size_t* index_out) {
+  MutexLock lk(&mu_);
+  if (!free_.empty()) {
+    const std::size_t idx = free_.back();
+    free_.pop_back();
+    *index_out = idx;
+    slots_[idx]->ring.clear();  // don't mix the previous tenant's events in
+    return &slots_[idx]->ring;
+  }
+  slots_.push_back(new ThreadSlot());  // leaked with the tracer
+  *index_out = slots_.size() - 1;
+  return &slots_.back()->ring;
+}
+
+void Tracer::release_ring(std::size_t index) {
+  MutexLock lk(&mu_);
+  free_.push_back(index);
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<ThreadSlot*> slots;
+  {
+    MutexLock lk(&mu_);
+    slots = slots_;  // slot pointers are immortal; read outside the lock
+  }
+  std::vector<TraceEvent> out;
+  for (std::size_t tid = 0; tid < slots.size(); ++tid) {
+    for (const auto& rec : slots[tid]->ring.read()) {
+      TraceEvent e;
+      e.cat = reinterpret_cast<const char*>(rec[0]);
+      e.name = reinterpret_cast<const char*>(rec[1]);
+      e.instant = (rec[2] & kFlagInstant) != 0;
+      e.virtual_clock = (rec[2] & kFlagVirtual) != 0;
+      e.ts_ns = static_cast<std::int64_t>(rec[3]);
+      e.dur_ns = static_cast<std::int64_t>(rec[4]);
+      e.arg_name = reinterpret_cast<const char*>(rec[5]);
+      e.arg = rec[6];
+      e.tid = static_cast<std::uint32_t>(tid);
+      if (e.cat == nullptr || e.name == nullptr) continue;  // torn-slot guard
+      out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+              return a.tid < b.tid;
+            });
+  return out;
+}
+
+std::string Tracer::dump_json(std::size_t max_events) const {
+  std::vector<TraceEvent> events = snapshot();
+  if (events.size() > max_events) {
+    // Flight-recorder semantics carry through the dump: keep the newest.
+    events.erase(events.begin(),
+                 events.end() - static_cast<std::ptrdiff_t>(max_events));
+  }
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"cat\":\"" + json_escape(e.cat) + "\"";
+    out += ",\"name\":\"" + json_escape(e.name) + "\"";
+    out += ",\"ph\":\"";
+    out += e.instant ? 'i' : 'X';
+    out += "\"";
+    out += ",\"ts\":" + micros(e.ts_ns);
+    if (!e.instant) {
+      out += ",\"dur\":" + micros(e.dur_ns);
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    out += ",\"pid\":";
+    out += e.virtual_clock ? '1' : '0';
+    out += ",\"tid\":" + std::to_string(e.tid);
+    if (e.arg_name != nullptr) {
+      out += ",\"args\":{\"" + json_escape(e.arg_name) +
+             "\":" + std::to_string(e.arg) + "}";
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}";
+  return out;
+}
+
+void Tracer::clear() {
+  MutexLock lk(&mu_);
+  for (ThreadSlot* s : slots_) s->ring.clear();
+}
+
+}  // namespace spinn::obs

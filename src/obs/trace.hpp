@@ -1,0 +1,144 @@
+// obs::Tracer — always-on, bounded span recording for every layer.
+//
+// Each thread records into its own spinn::TraceRing (a seqlock-slot flight
+// recorder): record() is lock-free and allocation-free, old events are
+// overwritten rather than blocking the producer, and a snapshot/dump can be
+// taken at any moment from any thread.  The dump format is Chrome's
+// `trace_event` JSON (load in chrome://tracing or Perfetto).
+//
+// Two clock domains, kept apart as two "processes" in the dump
+// (common/clock.hpp explains why):
+//  * pid 0 — wall-clock spans (request service, session slices, engine
+//    windows): real latencies, not comparable across runs;
+//  * pid 1 — virtual-time spans (fault → migrate → resume): stamped with
+//    the simulation's own TimeNs, so the event structure is bit-identical
+//    across serial, sharded, and wire executions of the same scenario.
+//
+// Category and name strings MUST be string literals (or otherwise immortal):
+// the ring stores raw pointers, not copies — that is what keeps the record
+// path allocation-free.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "common/trace_ring.hpp"
+
+namespace spinn::obs {
+
+/// One decoded trace event (snapshot-time representation).
+struct TraceEvent {
+  const char* cat = "";
+  const char* name = "";
+  bool instant = false;        ///< true: point event; false: span with dur.
+  bool virtual_clock = false;  ///< true: ts is simulation TimeNs (pid 1).
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = 0;
+  const char* arg_name = nullptr;  ///< optional single argument
+  std::uint64_t arg = 0;
+  std::uint32_t tid = 0;  ///< recording ring's index, not an OS tid
+};
+
+class Tracer {
+ public:
+  /// Ring record width: cat, name, flags, ts, dur, arg_name, arg.
+  static constexpr std::size_t kWords = 7;
+  /// Per-thread ring capacity (slots); bounded always-on memory.
+  static constexpr std::size_t kRingSlots = 4096;
+
+  /// The process-wide tracer.  Never destroyed — record() may run from
+  /// thread_local destructors during thread teardown.
+  static Tracer& global();
+
+  /// Tracing is on by default (bounded flight recorder).  `trace stop`
+  /// turns recording off; events already in the rings survive until
+  /// clear().
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Record a span of `dur_ns` starting at `ts_ns`.
+  // obs:hot — trace-record path: no locks, no allocation.
+  void complete(const char* cat, const char* name, std::int64_t ts_ns,
+                std::int64_t dur_ns, const char* arg_name = nullptr,
+                std::uint64_t arg = 0, bool virtual_clock = false) noexcept {
+    if (!enabled_.load(std::memory_order_relaxed)) return;
+    TraceRing<kWords>* ring = this_thread_ring();
+    if (ring == nullptr) return;
+    const std::uint64_t words[kWords] = {
+        reinterpret_cast<std::uint64_t>(cat),
+        reinterpret_cast<std::uint64_t>(name),
+        virtual_clock ? kFlagVirtual : 0u,
+        static_cast<std::uint64_t>(ts_ns),
+        static_cast<std::uint64_t>(dur_ns),
+        reinterpret_cast<std::uint64_t>(arg_name),
+        arg,
+    };
+    ring->push(words);
+  }
+
+  /// Record a point event at `ts_ns`.
+  // obs:hot — trace-record path: no locks, no allocation.
+  void instant(const char* cat, const char* name, std::int64_t ts_ns,
+               const char* arg_name = nullptr, std::uint64_t arg = 0,
+               bool virtual_clock = false) noexcept {
+    if (!enabled_.load(std::memory_order_relaxed)) return;
+    TraceRing<kWords>* ring = this_thread_ring();
+    if (ring == nullptr) return;
+    const std::uint64_t words[kWords] = {
+        reinterpret_cast<std::uint64_t>(cat),
+        reinterpret_cast<std::uint64_t>(name),
+        kFlagInstant | (virtual_clock ? kFlagVirtual : 0u),
+        static_cast<std::uint64_t>(ts_ns),
+        0,
+        reinterpret_cast<std::uint64_t>(arg_name),
+        arg,
+    };
+    ring->push(words);
+  }
+
+  /// Decode every ring's surviving events.  Safe to call while producers
+  /// keep recording (mid-write slots are skipped).  Events are returned
+  /// sorted by (ts_ns, tid) so equal virtual-time runs compare equal.
+  std::vector<TraceEvent> snapshot() const SPINN_EXCLUDES(mu_);
+
+  /// Chrome trace_event JSON of the newest `max_events` events.
+  std::string dump_json(std::size_t max_events = 20000) const
+      SPINN_EXCLUDES(mu_);
+
+  /// Drop all recorded events (rings stay registered).
+  void clear() SPINN_EXCLUDES(mu_);
+
+ private:
+  static constexpr std::uint64_t kFlagInstant = 1;
+  static constexpr std::uint64_t kFlagVirtual = 2;
+
+  /// The calling thread's ring; registers one on first use (cold path,
+  /// takes mu_) and hands it back to a free list at thread exit so thread
+  /// churn doesn't grow memory without bound.
+  TraceRing<kWords>* this_thread_ring() noexcept;
+  TraceRing<kWords>* acquire_ring(std::size_t* index_out)
+      SPINN_EXCLUDES(mu_);
+  void release_ring(std::size_t index) SPINN_EXCLUDES(mu_);
+
+  struct ThreadSlot {
+    // Slots are created once and never destroyed; a released slot keeps its
+    // events visible to snapshot() until a new thread reuses (and clears)
+    // it.
+    TraceRing<kWords> ring{kRingSlots};
+  };
+
+  std::atomic<bool> enabled_{true};
+  mutable Mutex mu_;
+  std::vector<ThreadSlot*> slots_ SPINN_GUARDED_BY(mu_);
+  std::vector<std::size_t> free_ SPINN_GUARDED_BY(mu_);
+
+  friend struct TracerThreadHandle;
+};
+
+}  // namespace spinn::obs

@@ -37,6 +37,11 @@ std::shared_ptr<Session> SessionScheduler::pop() {
   return s;
 }
 
+std::size_t SessionScheduler::depth() const {
+  MutexLock lk(&mu_);
+  return ready_.size();
+}
+
 bool SessionScheduler::drive() {
   std::shared_ptr<Session> s = pop();
   if (!s) return false;

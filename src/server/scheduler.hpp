@@ -45,6 +45,11 @@ class SessionScheduler {
   /// loop body, exposed for 0-worker deterministic operation.
   bool drive() SPINN_EXCLUDES(mu_);
 
+  /// Sessions currently sitting in the ready queue (telemetry: the
+  /// `server.queue_depth` gauge; a sustained non-zero depth means the
+  /// workers are saturated).
+  std::size_t depth() const SPINN_EXCLUDES(mu_);
+
   /// Stop and join the workers.  Queued sessions keep their pending work;
   /// the server tears them down afterwards.
   void stop() SPINN_EXCLUDES(mu_);
@@ -54,7 +59,7 @@ class SessionScheduler {
   std::shared_ptr<Session> pop() SPINN_EXCLUDES(mu_);
 
   const TimeNs slice_;
-  Mutex mu_;
+  mutable Mutex mu_;
   CondVar cv_;
   std::deque<std::shared_ptr<Session>> ready_ SPINN_GUARDED_BY(mu_);
   std::function<void()> submit_hook_ SPINN_GUARDED_BY(mu_);

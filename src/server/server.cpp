@@ -268,6 +268,7 @@ ServerStats SessionServer::stats() const {
   st.resident = sessions_.size();
   st.cost_resident = resident_cost_;
   st.cost_budget = cfg_.cost_budget;
+  st.queue_depth = scheduler_.depth();
   st.engines = pool_.stats();
   return st;
 }

@@ -66,6 +66,8 @@ struct ServerStats {
   /// Sum of resident session costs and the configured budget (0 = unlimited).
   std::uint64_t cost_resident = 0;
   std::uint64_t cost_budget = 0;
+  /// Sessions waiting in the scheduler's ready queue at snapshot time.
+  std::size_t queue_depth = 0;
   EnginePool::Stats engines;
 };
 

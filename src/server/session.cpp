@@ -3,7 +3,30 @@
 #include <algorithm>
 #include <exception>
 
+#include "common/clock.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace spinn::server {
+
+namespace {
+
+// Registration (the locked path) happens once, on first use; every later
+// call is a plain reference read.  2s range: build compiles a whole
+// machine, TTFS spans build + first spiking slice.
+obs::Histogram& build_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "server.build_ns", 0, 2'000'000'000, 400);
+  return h;
+}
+
+obs::Histogram& ttfs_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "server.ttfs_ns", 0, 2'000'000'000, 400);
+  return h;
+}
+
+}  // namespace
 
 const char* to_string(SessionState s) {
   switch (s) {
@@ -17,7 +40,13 @@ const char* to_string(SessionState s) {
 }
 
 Session::Session(SessionId id, SessionSpec spec, EnginePool& pool)
-    : id_(id), spec_(std::move(spec)), pool_(pool) {}
+    : id_(id),
+      spec_(std::move(spec)),
+      pool_(pool),
+      opened_wall_ns_(WallClock::now_ns()) {
+  obs::Tracer::global().instant("session", "session.open", opened_wall_ns_,
+                                "id", id_);
+}
 
 Session::~Session() { close(false); }
 
@@ -32,6 +61,15 @@ bool Session::request_run(TimeNs duration) {
 }
 
 void Session::build_locked() {
+  const std::int64_t t0 = WallClock::now_ns();
+  build_impl_locked();
+  const std::int64_t dur = WallClock::now_ns() - t0;
+  build_hist().observe(dur);
+  obs::Tracer::global().complete("session", "session.build", t0, dur, "id",
+                                 id_);
+}
+
+void Session::build_impl_locked() {
   try {
     const SystemConfig sys_cfg = system_config(spec_);
     lease_ = pool_.acquire(sys_cfg.engine);
@@ -87,12 +125,22 @@ bool Session::service(TimeNs slice) {
       if (system_->now() < goal_locked()) {
         state_ = SessionState::Running;
         const TimeNs step = std::min(slice, goal_locked() - system_->now());
+        const std::int64_t t0 = WallClock::now_ns();
         try {
           system_->run(step);
         } catch (const std::exception& e) {
           error_ = e.what();
           state_ = SessionState::Failed;
         }
+        obs::Tracer::global().complete("session", "session.slice", t0,
+                                       WallClock::now_ns() - t0, "id", id_);
+      }
+      if (!ttfs_observed_ && system_->spikes().count() + drained_total_ > 0) {
+        ttfs_observed_ = true;
+        const std::int64_t now = WallClock::now_ns();
+        ttfs_hist().observe(now - opened_wall_ns_);
+        obs::Tracer::global().instant("session", "session.ttfs", now, "id",
+                                      id_);
       }
       poll_faults_locked();
     }
@@ -198,6 +246,8 @@ std::vector<neural::SpikeRecorder::Event> Session::drain() {
   if (!system_) return {};
   auto out = system_->spikes().drain();
   drained_total_ += out.size();
+  obs::Tracer::global().instant("session", "session.drain",
+                                WallClock::now_ns(), "spikes", out.size());
   return out;
 }
 
@@ -248,6 +298,8 @@ bool Session::close(bool evicted) {
       net_.reset();
       idle_cv_.notify_all();
       fire.swap(idle_callbacks_);
+      obs::Tracer::global().instant("session", "session.close",
+                                    WallClock::now_ns(), "id", id_);
     }
   }
   for (auto& fn : fire) fn();

@@ -129,7 +129,10 @@ class Session {
   void mark_unqueued() { queued_.store(false, std::memory_order_release); }
 
  private:
+  /// Timed wrapper (session.build span + server.build_ns histogram)
+  /// around the actual compile in build_impl_locked().
   void build_locked() SPINN_REQUIRES(mu_);
+  void build_impl_locked() SPINN_REQUIRES(mu_);
   /// Hand queued fault actions to the controller (root-event scheduling).
   void flush_faults_locked() SPINN_REQUIRES(mu_);
   /// Surface fatal fault outcomes — failed migrations, glitch-link
@@ -143,6 +146,8 @@ class Session {
   const SessionId id_;
   const SessionSpec spec_;
   EnginePool& pool_;
+  /// Wall time at open — the TTFS (time-to-first-spike) epoch.
+  const std::int64_t opened_wall_ns_;
 
   mutable Mutex mu_;
   CondVar idle_cv_;
@@ -168,6 +173,8 @@ class Session {
   /// Actions accepted before the next service slice hands them over.
   std::vector<FaultAction> pending_faults_ SPINN_GUARDED_BY(mu_);
   std::size_t drained_total_ SPINN_GUARDED_BY(mu_) = 0;
+  /// server.ttfs_ns fires once, at the first slice that recorded a spike.
+  bool ttfs_observed_ SPINN_GUARDED_BY(mu_) = false;
   std::string error_ SPINN_GUARDED_BY(mu_);
   /// One-shot callbacks waiting for the next idle instant (see notify_idle).
   /// Swapped out under mu_ and *fired after release*: a callback may

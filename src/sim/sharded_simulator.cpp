@@ -5,6 +5,10 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/clock.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace spinn::sim {
 
 namespace {
@@ -17,6 +21,29 @@ std::uint32_t resolve_count(std::uint32_t requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
+}
+
+// Window/barrier/merge accounting — the shard-imbalance surface the
+// reactor-scaling roadmap items read.  Registration happens once on first
+// window; the window loop then only touches lock-free references.
+obs::Counter& windows_metric() {
+  static obs::Counter& c = obs::Registry::global().counter("sim.windows");
+  return c;
+}
+obs::Histogram& window_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "sim.window_wall_ns", 0, 100'000'000, 1000);
+  return h;
+}
+obs::Histogram& barrier_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "sim.barrier_wall_ns", 0, 100'000'000, 1000);
+  return h;
+}
+obs::Histogram& merge_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "sim.merge_wall_ns", 0, 100'000'000, 1000);
+  return h;
 }
 
 }  // namespace
@@ -263,10 +290,22 @@ std::uint64_t ShardedSimulator::parallel_run_until(TimeNs until) {
     window_inclusive_ = final_window;
     parallel_active_ = true;
     window_executed_.store(0, std::memory_order_relaxed);
+    // Telemetry: the window span covers release → barrier, the barrier
+    // histogram isolates the wait for the other shards after this thread's
+    // own slice ran — a hot barrier means shard imbalance, not load.
+    const std::int64_t win_t0 = WallClock::now_ns();
     release_window();
     run_slice(0, bound, final_window);
+    const std::int64_t barrier_t0 = WallClock::now_ns();
     await_workers();
     parallel_active_ = false;
+    const std::int64_t barrier_t1 = WallClock::now_ns();
+    windows_metric().inc();
+    window_hist().observe(barrier_t1 - win_t0);
+    barrier_hist().observe(barrier_t1 - barrier_t0);
+    obs::Tracer::global().complete("engine", "engine.window", win_t0,
+                                   barrier_t1 - win_t0, "bound",
+                                   static_cast<std::uint64_t>(bound));
     total += window_executed_.load(std::memory_order_relaxed);
     {
       MutexLock lk(&error_mutex_);
@@ -276,8 +315,13 @@ std::uint64_t ShardedSimulator::parallel_run_until(TimeNs until) {
         std::rethrow_exception(e);
       }
     }
+    const std::int64_t merge_t0 = WallClock::now_ns();
     drain_mailboxes();
     fire_hooks(bound);
+    const std::int64_t merge_t1 = WallClock::now_ns();
+    merge_hist().observe(merge_t1 - merge_t0);
+    obs::Tracer::global().complete("engine", "engine.merge", merge_t0,
+                                   merge_t1 - merge_t0);
   }
   for (auto& s : shards_) s.ctx->queue().run_window(until, true);
   fire_hooks(until);

@@ -12,7 +12,13 @@
 
 namespace spinn::sim {
 
-/// Streaming summary statistics (Welford's algorithm).
+/// Exact sample percentile with linear interpolation between order
+/// statistics (the R-7 / NumPy "linear" rule): p in [0, 1] maps onto
+/// position p * (n - 1) in the sorted samples.  Returns 0 for empty input
+/// and the sample itself for single-sample input.  This is the one
+/// percentile used by every bench harness; histogram-based estimates come
+/// from Histogram::percentile instead.
+double percentile(std::vector<double> samples, double p);
 class Summary {
  public:
   void add(double x) {
@@ -79,6 +85,10 @@ class Histogram {
   /// Value below which the given fraction of samples fall (linear
   /// interpolation inside the bin).
   double percentile(double p) const;
+
+  double p50() const { return percentile(0.50); }
+  double p95() const { return percentile(0.95); }
+  double p99() const { return percentile(0.99); }
 
  private:
   double lo_;

@@ -17,7 +17,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/fault_controller.hpp"
@@ -25,6 +28,7 @@
 #include "net/client.hpp"
 #include "net/protocol.hpp"
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 #include "server/server.hpp"
 #include "session_test_util.hpp"
 
@@ -528,6 +532,82 @@ TEST(FaultScenario, GlitchingAnAlreadyGlitchedLinkFailsLoudly) {
   sc.expect.failed = true;
   sc.expect.error_contains = {"fault @4", "already under glitch injection"};
   check(sc);
+}
+
+// ---- trace structure across modes ------------------------------------------
+
+/// The mode-invariant shape of a fault-category trace event: timestamp
+/// (virtual), name, kind, duration and argument all derive from
+/// simulation state — only the recording thread (tid) may differ, so it
+/// is the one field left out.
+using FaultSpan = std::tuple<std::int64_t, std::string, bool, std::int64_t,
+                             std::uint64_t>;
+
+std::vector<FaultSpan> fault_spans() {
+  std::vector<FaultSpan> out;
+  for (const obs::TraceEvent& e : obs::Tracer::global().snapshot()) {
+    if (std::string(e.cat) != "fault") continue;
+    // Every fault span is stamped with simulation time; a wall-clock one
+    // would silently break cross-mode comparability.
+    EXPECT_TRUE(e.virtual_clock) << e.name;
+    out.emplace_back(e.ts_ns, e.name, e.instant, e.dur_ns, e.arg);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// The determinism contract extended to the telemetry: the flagship §3.2
+// migration scenario leaves the identical fault → quiesce → migrate →
+// resume span structure behind — same names, virtual timestamps,
+// durations and arguments — whether it ran embedded-serial,
+// embedded-sharded, or over the socket.
+TEST(FaultScenario, FaultTraceStructureIsIdenticalAcrossModes) {
+  Scenario sc;
+  sc.name = "fault trace structure across modes";
+  sc.spec = quiet_gap_spec();
+  const CoreId victim = core_hosting(sc.spec, 0);
+  sc.schedule = {kill_core(victim, 16 * kMillisecond)};
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.set_enabled(true);
+
+  tracer.clear();
+  run_embedded(sc, sim::EngineKind::Serial);
+  const std::vector<FaultSpan> serial = fault_spans();
+
+  tracer.clear();
+  run_embedded(sc, sim::EngineKind::Sharded);
+  const std::vector<FaultSpan> sharded = fault_spans();
+
+  tracer.clear();
+  run_wire(sc);
+  const std::vector<FaultSpan> wire = fault_spans();
+  // Env-gated dump of the whole wire-run trace — the virtual-time fault
+  // spans plus the wall-clock net/session spans around them.  CI sets
+  // SPINN_TRACE_OUT and archives the file as the sample trace artifact.
+  if (const char* path = std::getenv("SPINN_TRACE_OUT")) {
+    std::ofstream dump(path);
+    dump << tracer.dump_json();
+    EXPECT_TRUE(dump.good()) << path;
+  }
+
+  // The single kill-core migration tells its story in exactly four spans;
+  // sorted by (ts, name) the three same-instant spans order
+  // alphabetically, then the resume closes the recovery window.
+  ASSERT_EQ(serial.size(), 4u);
+  EXPECT_EQ(std::get<1>(serial[0]), "fault.inject");
+  EXPECT_EQ(std::get<1>(serial[1]), "fault.migrate");
+  EXPECT_EQ(std::get<1>(serial[2]), "fault.quiesce");
+  EXPECT_EQ(std::get<1>(serial[3]), "fault.resume");
+  // migrate is the one complete span: its duration is the recovery window,
+  // and the resume instant sits exactly at its far edge.
+  EXPECT_FALSE(std::get<2>(serial[1]));
+  EXPECT_GT(std::get<3>(serial[1]), 0);
+  EXPECT_EQ(std::get<0>(serial[3]),
+            std::get<0>(serial[1]) + std::get<3>(serial[1]));
+
+  EXPECT_EQ(serial, sharded);
+  EXPECT_EQ(serial, wire);
 }
 
 TEST(FaultScenario, HealingAHealthyLinkIsACleanNoOp) {

@@ -15,7 +15,10 @@
 #include <sys/resource.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -304,17 +307,119 @@ Events drive_over_socket(std::uint16_t port, const WireSession& ws,
   return stream;
 }
 
+/// Parse a `metrics` response (`metrics <n>` then `name value` lines) into
+/// a map; EXPECTs the announced row count matches.
+std::map<std::string, std::uint64_t> parse_metrics_response(
+    const std::string& resp) {
+  std::map<std::string, std::uint64_t> kv;
+  std::size_t pos = resp.find('\n');
+  EXPECT_EQ(resp.rfind("metrics ", 0), 0u) << resp.substr(0, 40);
+  if (pos == std::string::npos) return kv;
+  const std::uint64_t announced =
+      std::strtoull(resp.c_str() + 8, nullptr, 10);
+  while (pos != std::string::npos) {
+    const std::size_t start = pos + 1;
+    pos = resp.find('\n', start);
+    const std::string line = resp.substr(
+        start, pos == std::string::npos ? std::string::npos : pos - start);
+    const std::size_t sp = line.find(' ');
+    if (sp == std::string::npos) continue;
+    kv[line.substr(0, sp)] =
+        std::strtoull(line.c_str() + sp + 1, nullptr, 10);
+  }
+  EXPECT_EQ(kv.size(), announced);
+  return kv;
+}
+
+/// Parse the single-line `netstats` response (`net k=v k=v ...`).
+std::map<std::string, std::uint64_t> parse_netstats_response(
+    const std::string& resp) {
+  std::map<std::string, std::uint64_t> kv;
+  std::size_t i = resp.find(' ');
+  while (i != std::string::npos) {
+    const std::size_t start = i + 1;
+    const std::size_t eq = resp.find('=', start);
+    if (eq == std::string::npos) break;
+    i = resp.find(' ', eq);
+    kv[resp.substr(start, eq - start)] =
+        std::strtoull(resp.c_str() + eq + 1, nullptr, 10);
+  }
+  return kv;
+}
+
+/// The consistency bar a scrape must clear at any instant under load:
+/// correlated counters may never be seen torn (a frame counted without its
+/// bytes) — this is what the per-shard grouped updates guarantee.
+void expect_consistent_counters(
+    const std::map<std::string, std::uint64_t>& kv, const char* frames_in,
+    const char* bytes_in, const char* frames_out, const char* bytes_out) {
+  const auto get = [&](const char* k) {
+    const auto it = kv.find(k);
+    return it == kv.end() ? std::uint64_t{0} : it->second;
+  };
+  // Every counted inbound frame arrived complete: 4-byte header minimum.
+  EXPECT_GE(get(bytes_in), get(frames_in) * kFrameHeader);
+  // Every counted outbound frame carried header + a >= 2-byte response.
+  EXPECT_GE(get(bytes_out), get(frames_out) * (kFrameHeader + 2));
+}
+
 /// The acceptance bar: >= 8 concurrent connections, mixed serial/sharded
 /// engines, every stream bit-identical to the spec run standalone —
 /// whether one reactor multiplexes all eight or four reactors own two
-/// connections each (round-robin dealing).
-void run_concurrent_equivalence(int depth, std::size_t reactors = 1) {
+/// connections each (round-robin dealing).  With `scrape`, a 9th
+/// connection polls `metrics` and `netstats` continuously throughout:
+/// observation must not perturb the streams, counters must be monotone
+/// across scrapes, and no scrape may see torn totals.
+void run_concurrent_equivalence(int depth, std::size_t reactors = 1,
+                                bool scrape = false) {
   NetConfig cfg;
   cfg.reactors = reactors;
   cfg.session.workers = 4;
   cfg.session.max_sessions = 8;
   NetServer srv(cfg);
   ASSERT_EQ(srv.reactor_count(), reactors);
+
+  std::atomic<bool> stop_scraping{false};
+  std::thread observer;
+  if (scrape) {
+    observer = std::thread([&] {
+      Client poll(srv.port());
+      std::map<std::string, std::uint64_t> prev_m;
+      std::map<std::string, std::uint64_t> prev_n;
+      int scrapes = 0;
+      while (!stop_scraping.load(std::memory_order_acquire)) {
+        const auto m = parse_metrics_response(poll.request("metrics"));
+        expect_consistent_counters(m, "net.frames_in", "net.bytes_in",
+                                   "net.frames_out", "net.bytes_out");
+        for (const char* k :
+             {"net.accepted", "net.frames_in", "net.frames_out",
+              "net.bytes_in", "net.bytes_out", "server.opened",
+              "server.closed", "net.request_ns.count"}) {
+          ASSERT_TRUE(m.count(k) != 0) << k;
+          const auto it = prev_m.find(k);
+          if (it != prev_m.end()) {
+            EXPECT_GE(m.at(k), it->second) << k << " went backwards";
+          }
+        }
+        prev_m = m;
+        const auto n = parse_netstats_response(poll.request("netstats"));
+        expect_consistent_counters(n, "frames_in", "bytes_in", "frames_out",
+                                   "bytes_out");
+        for (const char* k :
+             {"accepted", "frames_in", "frames_out", "bytes_in",
+              "bytes_out"}) {
+          ASSERT_TRUE(n.count(k) != 0) << k;
+          const auto it = prev_n.find(k);
+          if (it != prev_n.end()) {
+            EXPECT_GE(n.at(k), it->second) << k << " went backwards";
+          }
+        }
+        prev_n = n;
+        ++scrapes;
+      }
+      EXPECT_GT(scrapes, 0);
+    });
+  }
 
   const std::vector<WireSession> sessions = {
       {spec_with("noise", 1, sim::EngineKind::Serial), 25 * kMillisecond},
@@ -341,6 +446,10 @@ void run_concurrent_equivalence(int depth, std::size_t reactors = 1) {
     });
   }
   for (auto& t : clients) t.join();
+  if (observer.joinable()) {
+    stop_scraping.store(true, std::memory_order_release);
+    observer.join();
+  }
 
   for (std::size_t i = 0; i < sessions.size(); ++i) {
     SCOPED_TRACE("connection " + std::to_string(i) +
@@ -353,7 +462,7 @@ void run_concurrent_equivalence(int depth, std::size_t reactors = 1) {
         << reference.size();
   }
   const NetStats st = srv.stats();
-  EXPECT_EQ(st.accepted, sessions.size());
+  EXPECT_EQ(st.accepted, sessions.size() + (scrape ? 1 : 0));
   EXPECT_EQ(st.shed_slow, 0u);
   EXPECT_EQ(st.shed_flood, 0u);
 }
@@ -372,6 +481,81 @@ TEST(NetServer, EightConnectionsBitIdenticalAtDepth4) {
 // from which thread happened to execute the request.
 TEST(NetServer, EightConnectionsAcrossFourReactorsBitIdentical) {
   run_concurrent_equivalence(/*depth=*/4, /*reactors=*/4);
+}
+
+// Observation must be free of observable effect: the same eight streams,
+// bit-identical, while a ninth connection scrapes `metrics` and `netstats`
+// as fast as the server will answer.  Run under TSan this is also the
+// data-race proof for the whole telemetry path (sharded counters, seqlock
+// trace rings, grouped stat updates) against live traffic.
+TEST(NetServer, EightConnectionsBitIdenticalUnderContinuousScrape) {
+  run_concurrent_equivalence(/*depth=*/4, /*reactors=*/4, /*scrape=*/true);
+}
+
+TEST(NetServer, MetricsVerbReportsPinnedFieldsAndRegistryRows) {
+  NetServer srv;
+  Client client(srv.port());
+  // One full session round-trip so the request histogram has samples and
+  // the server-side gauges have moved off zero.
+  ASSERT_EQ(client.request("ping"), "ok");
+  const auto m = parse_metrics_response(client.request("metrics"));
+  // The derived rows are part of the wire contract: scrapers key on these
+  // exact names, so renaming or dropping one is a breaking change.
+  for (const char* field :
+       {"net.accepted", "net.refused", "net.shed_slow", "net.shed_flood",
+        "net.frames_in", "net.frames_out", "net.batches", "net.faults",
+        "net.bytes_in", "net.bytes_out", "net.connections", "net.reactors",
+        "server.opened", "server.rejected", "server.rejected_cost",
+        "server.closed", "server.evicted", "server.resident",
+        "server.cost_resident", "server.cost_budget", "server.queue_depth",
+        "server.engines.created", "server.engines.reused",
+        "server.engines.idle"}) {
+    EXPECT_TRUE(m.count(field) != 0) << field;
+  }
+  // Registry-backed rows ride along: the reactor registers its request
+  // histogram on startup and the ping above put a sample in it.
+  ASSERT_TRUE(m.count("net.request_ns.count") != 0);
+  EXPECT_GE(m.at("net.request_ns.count"), 1u);
+  EXPECT_TRUE(m.count("net.request_ns.p50") != 0);
+  EXPECT_TRUE(m.count("net.request_ns.p99") != 0);
+  EXPECT_EQ(m.at("net.accepted"), 1u);
+  EXPECT_EQ(m.at("net.reactors"), srv.reactor_count());
+  // A second scrape never goes backwards.
+  const auto m2 = parse_metrics_response(client.request("metrics"));
+  EXPECT_GE(m2.at("net.frames_in"), m.at("net.frames_in"));
+  EXPECT_GE(m2.at("net.request_ns.count"), m.at("net.request_ns.count"));
+}
+
+TEST(NetServer, TraceVerbControlsTheTracerAndDumpsChromeJson) {
+  NetServer srv;
+  Client client(srv.port());
+  EXPECT_EQ(client.request("trace stop"), "ok trace off");
+  EXPECT_EQ(client.request("trace start"), "ok trace on");
+  // Traffic while enabled leaves spans behind: the ping's response flush
+  // is itself a traced event.
+  ASSERT_EQ(client.request("ping"), "ok");
+  const std::string dump = client.request("trace dump");
+  EXPECT_EQ(dump.rfind("{\"traceEvents\":[", 0), 0u) << dump.substr(0, 40);
+  EXPECT_NE(dump.find("net.flush"), std::string::npos);
+  EXPECT_NE(dump.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+  EXPECT_EQ(client.request("trace"), "err usage: trace start|stop|dump");
+  EXPECT_EQ(client.request("trace bogus"),
+            "err usage: trace start|stop|dump");
+}
+
+// Deployments serving untrusted clients can pin tracing off: the verb is
+// rejected wholesale — control and dump alike — so a remote peer can
+// neither toggle process-wide state nor read span timings.
+TEST(NetServer, TraceVerbIsRejectedWhenDisabledByConfig) {
+  NetConfig cfg;
+  cfg.allow_trace = false;
+  NetServer srv(cfg);
+  Client client(srv.port());
+  EXPECT_EQ(client.request("trace start"), "err trace disabled");
+  EXPECT_EQ(client.request("trace dump"), "err trace disabled");
+  // The metrics surface stays available regardless.
+  const auto m = parse_metrics_response(client.request("metrics"));
+  EXPECT_TRUE(m.count("net.accepted") != 0);
 }
 
 // A client that pipelines its whole workload and then half-closes

@@ -1,0 +1,26 @@
+// Seeded violation: an `// obs:hot` body that takes a lock and grows a
+// vector — exactly what the rule exists to forbid on telemetry hot paths.
+// lint_invariants.py must flag it or fail.
+// lint-expect: obs-hot-path
+// lint-path: src/obs/fixture.hpp
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace spinn::obs {
+
+class LeakyCounter {
+ public:
+  // obs:hot — metric-increment path: no locks, no allocation.
+  void inc(std::uint64_t by) {
+    MutexLock lk(&mu_);        // lock on the per-spike path
+    samples_.push_back(by);    // unbounded allocation on the hot path
+  }
+
+ private:
+  Mutex mu_;
+  std::vector<std::uint64_t> samples_ SPINN_GUARDED_BY(mu_);
+};
+
+}  // namespace spinn::obs

@@ -40,6 +40,13 @@ repo-wide discipline whose rationale lives where the discipline does:
                       every use outside the macro's own header needs an
                       adjacent justifying comment (same line or one of the
                       three lines above).
+  obs-hot-path        A body annotated `// obs:hot` is a telemetry hot
+                      path — counter increments and trace records that run
+                      per frame/spike.  No locks, no allocation, no
+                      container growth inside it: instrumentation that
+                      blocks or mallocs perturbs the thing it observes.
+                      The obs headers must each carry at least one marker,
+                      or the rule has silently stopped running.
 
 Suppression: a `lint:allow(<rule>)` comment disables that rule from its own
 line through the next ALLOW_WINDOW lines — close enough to function scope
@@ -99,6 +106,18 @@ REACTOR_LOOP_DECL = re.compile(r"\b(?:NetServer|Reactor)::\w*loop\w*\s*\(")
 FAULT_ENTRY_DECL = re.compile(r"\bFaultController::\w+\s*\(")
 BAD_INCLUDE = re.compile(r'#\s*include\s*"([^"]+)"')
 NO_TSA = re.compile(r"\bSPINN_NO_THREAD_SAFETY_ANALYSIS\b")
+# The hot-path marker is a whole comment line, so a prose mention of
+# `// obs:hot` inside another comment never arms the rule.
+OBS_HOT_MARKER = re.compile(r"^\s*//\s*obs:hot\b")
+OBS_HOT_FORBIDDEN = re.compile(
+    r"\bMutexLock\b|\block\s*\(|\bnew\b|\bmalloc\s*\(|\bcalloc\s*\(|"
+    r"\bmake_unique\b|\bmake_shared\b|\bpush_back\b|\bemplace_back\b|"
+    r"\bresize\s*\(|\breserve\s*\(|\bstd::string\b|\bstd::vector\b"
+)
+# Headers that exist to provide hot-path machinery: each must carry at
+# least one obs:hot marker or the rule is scanning nothing.
+OBS_HOT_HOMES = ("src/obs/registry.hpp", "src/obs/trace.hpp",
+                 "src/common/trace_ring.hpp")
 ALLOW = re.compile(r"lint:allow\(([a-z-]+)\)")
 COMMENT_TEXT = re.compile(r"//\s*(\S.*)$")
 
@@ -332,6 +351,40 @@ def scan_file(rel_path, raw_text):
             elif "/detail/" in inc or inc.endswith("_internal.hpp"):
                 report("include-discipline", lineno,
                        f'#include "{inc}" reaches an internal header')
+
+    # obs-hot-path: the body following each `// obs:hot` marker must stay
+    # lock-free and allocation-free.  Markers live in RAW lines (comments
+    # are blanked in `code`); the body is brace-matched in the stripped
+    # code starting just past the marker's line.
+    if in_src_scope:
+        markers = 0
+        line_start = [0]
+        for line in code_lines:
+            line_start.append(line_start[-1] + len(line) + 1)
+        for lineno, line in enumerate(raw_lines, start=1):
+            if not OBS_HOT_MARKER.search(line):
+                continue
+            markers += 1
+            if lineno >= len(line_start):
+                continue
+            start, end = brace_matched_region(code, line_start[lineno])
+            if start < 0:
+                report("obs-hot-path", lineno,
+                       "obs:hot marker with no brace-matched body after it")
+                continue
+            body = code[start:end]
+            body_first_line = line_of(code, start)
+            for off, bline in enumerate(body.splitlines()):
+                m = OBS_HOT_FORBIDDEN.search(bline)
+                if m:
+                    report(
+                        "obs-hot-path", body_first_line + off,
+                        f"{m.group(0).strip()} inside an obs:hot body; "
+                        "telemetry hot paths must not lock or allocate")
+        if rel_path in OBS_HOT_HOMES and markers == 0:
+            report("obs-hot-path", 1,
+                   "no obs:hot marker found — the hot-path rule is "
+                   "scanning nothing in this file")
 
     # tsa-justify: the escape hatch needs an adjacent reason.
     if rel_path != WRAPPER_HEADER:
