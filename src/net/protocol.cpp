@@ -5,8 +5,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 #include <limits>
 #include <cstring>
+#include <string_view>
 
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -1006,7 +1008,10 @@ std::string format_metrics(const NetStats& net,
   // `server.*` fields are pinned in this order (append-only, like
   // `netstats`); the registry rows after them are sorted by name, so a new
   // metric inserts without reordering what a client already parses.
-  std::vector<std::pair<std::string, std::uint64_t>> rows = {
+  // Scrapes arrive continuously (1 Hz pollers and worse), so the builder
+  // is deliberately allocation-light: string_view literals for the pinned
+  // rows, one reserve for the whole response, no per-row temporaries.
+  const std::pair<std::string_view, std::uint64_t> pinned[] = {
       {"net.accepted", net.accepted},
       {"net.refused", net.refused},
       {"net.shed_slow", net.shed_slow},
@@ -1032,13 +1037,27 @@ std::string format_metrics(const NetStats& net,
       {"server.engines.reused", srv.engines.reused},
       {"server.engines.idle", srv.engines.idle},
   };
-  for (auto& row : obs::Registry::global().rows()) {
-    rows.push_back(std::move(row));
-  }
-  std::string out = "metrics " + u64(rows.size());
-  for (const auto& [name, value] : rows) {
-    out += "\n" + name + " " + u64(value);
-  }
+  const auto registry_rows = obs::Registry::global().rows();
+  const std::size_t total = std::size(pinned) + registry_rows.size();
+  std::string out;
+  out.reserve(16 + 40 * total);
+  char digits[20];
+  const auto append_u64 = [&digits, &out](std::uint64_t v) {
+    const auto [end, ec] =
+        std::to_chars(digits, digits + sizeof digits, v);
+    (void)ec;  // u64 always fits 20 digits
+    out.append(digits, end);
+  };
+  out += "metrics ";
+  append_u64(total);
+  const auto append_row = [&](std::string_view name, std::uint64_t value) {
+    out += '\n';
+    out += name;
+    out += ' ';
+    append_u64(value);
+  };
+  for (const auto& [name, value] : pinned) append_row(name, value);
+  for (const auto& [name, value] : registry_rows) append_row(name, value);
   return out;
 }
 

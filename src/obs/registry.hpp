@@ -119,6 +119,19 @@ class Histogram {
   /// as sim::Histogram::percentile, over a relaxed snapshot of the bins.
   std::int64_t percentile(double p) const;
 
+  /// One scrape row set — count plus p50/p95/p99 — from a *single* bin
+  /// snapshot and a single accumulation pass.  This is what `rows()` uses:
+  /// three percentile() calls would re-snapshot (and re-scan) up to 2000
+  /// bins each, and the three answers could disagree about which events
+  /// they saw.
+  struct Summary {
+    std::uint64_t count = 0;
+    std::int64_t p50 = 0;
+    std::int64_t p95 = 0;
+    std::int64_t p99 = 0;
+  };
+  Summary summary() const;
+
   std::int64_t lo() const noexcept { return lo_; }
   std::int64_t hi() const noexcept { return hi_; }
 

@@ -164,6 +164,21 @@ TEST(ObsHistogram, PercentilesOrdered) {
   EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 5000.0, 100.0);
 }
 
+TEST(ObsHistogram, SummaryMatchesIndividualPercentiles) {
+  // summary() is the scrape path (one snapshot for all three
+  // percentiles); with no concurrent writers it must agree exactly with
+  // three percentile() calls.
+  obs::Histogram h(0, 10000, 1000);
+  EXPECT_EQ(h.summary().count, 0u);
+  EXPECT_EQ(h.summary().p99, 0);
+  for (int i = 0; i < 1000; ++i) h.observe(i * 10);
+  const obs::Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, h.count());
+  EXPECT_EQ(s.p50, h.percentile(0.50));
+  EXPECT_EQ(s.p95, h.percentile(0.95));
+  EXPECT_EQ(s.p99, h.percentile(0.99));
+}
+
 // ---- obs::Registry ---------------------------------------------------------
 
 TEST(ObsRegistry, FindOrCreateReturnsStableReferences) {
